@@ -1,0 +1,15 @@
+// Extension bench: position-aided routing (LAR) vs its non-positional
+// ancestors (DSR, AODV).
+// Claim under test (Boukerche '04): GPS-equipped, position-aware routing
+// minimizes routing overhead — LAR's request zones should undercut both on
+// NRL once locations are warm, at comparable delivery.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep({manet::Protocol::kLar, manet::Protocol::kDsr,
+                                manet::Protocol::kAodv},
+                               "vmax", {1, 10, 20}, manet::bench::Metric::kAll,
+                               manet::bench::mobility_cell);
+  return manet::bench::run_main(
+      argc, argv, "Extension — LAR vs DSR vs AODV (all metrics, 50 nodes)");
+}

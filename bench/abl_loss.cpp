@@ -1,0 +1,25 @@
+// Ablation: channel frame-loss rate sweep (fading stand-in).
+// Question: how fast does each protocol class degrade when the radio is no
+// longer an ideal unit disk? Broadcast-dependent machinery (route discovery
+// floods, HELLO/TC beacons) has no MAC retransmission shield.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace manet;
+  for (const Protocol p : {Protocol::kAodv, Protocol::kDsr, Protocol::kOlsr}) {
+    for (const double loss : {0.0, 0.05, 0.15, 0.3}) {
+      char name[64];
+      std::snprintf(name, sizeof name, "%s/loss:%g", to_string(p), loss);
+      benchmark::RegisterBenchmark(name, [p, loss](benchmark::State& state) {
+        ScenarioConfig cfg;
+        cfg.protocol = p;
+        cfg.seed = 1;
+        cfg.v_max = 10.0;
+        cfg.phy.frame_loss_rate = loss;
+        bench::run_cell(state, cfg, bench::Metric::kAll);
+      })->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  return bench::run_main(argc, argv,
+                         "Ablation — per-frame loss rate (50 nodes, v_max 10 m/s)");
+}

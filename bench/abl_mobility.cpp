@@ -1,0 +1,29 @@
+// Extension bench: protocol performance across mobility models
+// (Divecha et al. 2007's axis: rankings shift between random waypoint,
+// random walk, smooth Gauss-Markov, and the Manhattan street grid).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace manet;
+  const std::pair<MobilityKind, const char*> kinds[] = {
+      {MobilityKind::kRandomWaypoint, "waypoint"},
+      {MobilityKind::kRandomWalk, "walk"},
+      {MobilityKind::kGaussMarkov, "gauss-markov"},
+      {MobilityKind::kManhattan, "manhattan"},
+  };
+  for (const Protocol p : {Protocol::kAodv, Protocol::kDsr, Protocol::kOlsr}) {
+    for (const auto& [kind, label] : kinds) {
+      std::string name = std::string(to_string(p)) + "/" + label;
+      benchmark::RegisterBenchmark(name.c_str(), [p, kind = kind](benchmark::State& state) {
+        ScenarioConfig cfg;
+        cfg.protocol = p;
+        cfg.seed = 1;
+        cfg.mobility = kind;
+        cfg.v_max = 10.0;
+        bench::run_cell(state, cfg, bench::Metric::kAll);
+      })->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  return bench::run_main(argc, argv,
+                         "Extension — mobility models x protocols (50 nodes, v_max 10)");
+}

@@ -1,0 +1,14 @@
+// Extension bench: TORA-lite vs AODV vs DSR (the Broch '98 / Ahmed '06
+// protocol set). Link reversal repairs routes without flooding, but the
+// beacon substrate (our IMEP stand-in) is a fixed cost and heights go stale
+// under churn — where does each effect dominate?
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep({manet::Protocol::kTora, manet::Protocol::kAodv,
+                                manet::Protocol::kDsr},
+                               "vmax", {1, 10, 20}, manet::bench::Metric::kAll,
+                               manet::bench::mobility_cell);
+  return manet::bench::run_main(argc, argv,
+                                "Extension — TORA vs AODV vs DSR (all metrics, 50 nodes)");
+}

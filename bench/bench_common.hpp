@@ -1,0 +1,146 @@
+// Shared machinery for the figure/table benches.
+//
+// Each bench binary regenerates one table or figure of the evaluation: it
+// registers one google-benchmark per (protocol, x-value) cell, runs the cell
+// as a multi-seed experiment, and reports the figure's metric (mean and
+// standard error) as benchmark counters — the printed rows are the figure's
+// series. Fidelity/wall-clock knobs come from the environment:
+//
+//   MANET_BENCH_SEEDS     replications per cell (default 2)
+//   MANET_BENCH_DURATION  simulated seconds     (default: per-figure config)
+//   MANET_BENCH_THREADS   worker threads        (default: hw concurrency)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "scenario/scenario.hpp"
+
+namespace manet::bench {
+
+enum class Metric { kPdr, kDelay, kNrl, kNml, kThroughput, kAll };
+
+inline void report(benchmark::State& state, const Aggregate& a, Metric m) {
+  auto set = [&](const char* name, const manet::Metric& v) {
+    state.counters[name] = v.mean;
+    state.counters[std::string(name) + "_se"] = v.se;
+  };
+  switch (m) {
+    case Metric::kPdr: set("pdr_pct", {a.pdr.mean * 100.0, a.pdr.se * 100.0}); break;
+    case Metric::kDelay: set("delay_ms", a.delay_ms); break;
+    case Metric::kNrl: set("nrl", a.nrl); break;
+    case Metric::kNml: set("nml", a.nml); break;
+    case Metric::kThroughput: set("kbps", a.throughput_kbps); break;
+    case Metric::kAll:
+      set("pdr_pct", {a.pdr.mean * 100.0, a.pdr.se * 100.0});
+      set("delay_ms", a.delay_ms);
+      set("nrl", a.nrl);
+      set("nml", a.nml);
+      set("kbps", a.throughput_kbps);
+      state.counters["conn_pct"] = a.connectivity.mean * 100.0;
+      break;
+  }
+  state.counters["seeds"] = a.replications;
+}
+
+/// Run one figure cell: a multi-seed experiment under the env knobs.
+inline void run_cell(benchmark::State& state, ScenarioConfig cfg, Metric m,
+                     int default_seeds = 2) {
+  const ExperimentRunner runner = ExperimentRunner::from_env(default_seeds);
+  ExperimentRunner::apply_env_duration(cfg);
+  Aggregate agg;
+  for (auto _ : state) {
+    agg = runner.run(cfg);
+  }
+  report(state, agg, m);
+}
+
+/// Register a (protocol x value) sweep. `make_cfg` builds the cell config.
+inline void register_sweep(
+    const std::vector<Protocol>& protocols, const char* param, const std::vector<double>& values,
+    Metric metric, const std::function<ScenarioConfig(Protocol, double)>& make_cfg) {
+  for (const Protocol p : protocols) {
+    for (const double v : values) {
+      std::string name = std::string(to_string(p)) + "/" + param + ":";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%g", v);
+      name += buf;
+      benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& state) {
+                    run_cell(state, make_cfg(p, v), metric);
+                  })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+inline const std::vector<Protocol> kAll = {Protocol::kAodv, Protocol::kDsr, Protocol::kCbrp,
+                                           Protocol::kDsdv, Protocol::kOlsr};
+/// Boukerche's three (the pause-time / offered-load suites).
+inline const std::vector<Protocol> kReactiveTrio = {Protocol::kAodv, Protocol::kDsr,
+                                                    Protocol::kCbrp};
+
+// -- canonical cell configs --------------------------------------------------
+
+/// Mobility suite: Table-I defaults, sweep node max speed (0 = static).
+inline ScenarioConfig mobility_cell(Protocol p, double v_max) {
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.seed = 1;
+  if (v_max <= 0.0) {
+    cfg.static_nodes = true;
+  } else {
+    cfg.v_max = v_max;
+  }
+  return cfg;
+}
+
+/// Density suite: sweep node count at moderate mobility.
+inline ScenarioConfig density_cell(Protocol p, double nodes) {
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.seed = 1;
+  cfg.num_nodes = static_cast<std::uint32_t>(nodes);
+  cfg.v_max = 10.0;
+  return cfg;
+}
+
+/// Pause-time suite (Boukerche-style): 40 nodes in 1500 x 300 m, v_max 20,
+/// sweep pause time.
+inline ScenarioConfig pause_cell(Protocol p, double pause_s) {
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.seed = 1;
+  cfg.num_nodes = 40;
+  cfg.area = {1500.0, 300.0};
+  cfg.v_max = 20.0;
+  cfg.pause = seconds_f(pause_s);
+  return cfg;
+}
+
+/// Offered-load suite: 40 nodes, sweep the number of CBR sources.
+inline ScenarioConfig sources_cell(Protocol p, double sources) {
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.seed = 1;
+  cfg.num_nodes = 40;
+  cfg.area = {1500.0, 300.0};
+  cfg.v_max = 10.0;
+  cfg.num_connections = static_cast<std::uint32_t>(sources);
+  return cfg;
+}
+
+inline int run_main(int argc, char** argv, const char* banner) {
+  std::printf("%s\n", banner);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace manet::bench

@@ -1,0 +1,11 @@
+// Fig 6: average end-to-end delay vs network density.
+// Expected shape: OLSR/DSDV lowest throughout; on-demand delay grows with
+// density as discovery floods contend for the medium.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep(manet::bench::kAll, "nodes", {30, 50, 70, 90},
+                               manet::bench::Metric::kDelay, manet::bench::density_cell);
+  return manet::bench::run_main(
+      argc, argv, "Fig 6 — Average end-to-end delay vs density (delay_ms, v_max 10 m/s)");
+}

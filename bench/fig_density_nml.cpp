@@ -1,0 +1,11 @@
+// Fig 8: normalized MAC load vs network density.
+// Expected shape: grows for everyone (more contention per delivered packet);
+// highest for the proactive side whose control packets congest the medium.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep(manet::bench::kAll, "nodes", {30, 50, 70, 90},
+                               manet::bench::Metric::kNml, manet::bench::density_cell);
+  return manet::bench::run_main(
+      argc, argv, "Fig 8 — Normalized MAC load vs density (nml, v_max 10 m/s)");
+}

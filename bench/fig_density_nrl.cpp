@@ -1,0 +1,11 @@
+// Fig 7: normalized routing load vs network density.
+// Expected shape: AODV nearly flat (scales well); OLSR/DSDV grow steeply —
+// periodic control volume is quadratic-ish in node count.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep(manet::bench::kAll, "nodes", {30, 50, 70, 90},
+                               manet::bench::Metric::kNrl, manet::bench::density_cell);
+  return manet::bench::run_main(
+      argc, argv, "Fig 7 — Normalized routing load vs density (nrl, v_max 10 m/s)");
+}

@@ -1,0 +1,11 @@
+// Fig 5: packet delivery ratio vs network density (node count).
+// Expected shape: sparse networks partition (everyone suffers); delivery
+// recovers with density until control congestion bites the proactive side.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep(manet::bench::kAll, "nodes", {30, 50, 70, 90},
+                               manet::bench::Metric::kPdr, manet::bench::density_cell);
+  return manet::bench::run_main(
+      argc, argv, "Fig 5 — Packet delivery ratio vs density (pdr_pct, v_max 10 m/s)");
+}

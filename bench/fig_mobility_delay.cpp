@@ -1,0 +1,12 @@
+// Fig 2: average end-to-end delay vs node mobility.
+// Expected shape: proactive protocols (OLSR/DSDV) lowest and flat — routes
+// are pre-computed; on-demand protocols pay discovery latency that grows
+// with route churn.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep(manet::bench::kAll, "vmax", {0, 1, 5, 10, 20},
+                               manet::bench::Metric::kDelay, manet::bench::mobility_cell);
+  return manet::bench::run_main(
+      argc, argv, "Fig 2 — Average end-to-end delay vs mobility (delay_ms, 50 nodes)");
+}

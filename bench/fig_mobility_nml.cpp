@@ -1,0 +1,11 @@
+// Fig 4: normalized MAC load vs node mobility.
+// Expected shape: follows NRL but compressed — RTS/CTS/ACK volume scales
+// with delivered data for every protocol.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep(manet::bench::kAll, "vmax", {0, 1, 5, 10, 20},
+                               manet::bench::Metric::kNml, manet::bench::mobility_cell);
+  return manet::bench::run_main(
+      argc, argv, "Fig 4 — Normalized MAC load vs mobility (nml, 50 nodes)");
+}

@@ -1,0 +1,12 @@
+// Fig 3: normalized routing load vs node mobility.
+// Expected shape: proactive >> reactive; among reactive protocols AODV
+// exceeds DSR/CBRP (source routing and clustering amortize discovery) —
+// Boukerche's headline result.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep(manet::bench::kAll, "vmax", {0, 1, 5, 10, 20},
+                               manet::bench::Metric::kNrl, manet::bench::mobility_cell);
+  return manet::bench::run_main(
+      argc, argv, "Fig 3 — Normalized routing load vs mobility (nrl, 50 nodes)");
+}

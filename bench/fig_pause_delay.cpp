@@ -1,0 +1,12 @@
+// Fig 10 (Boukerche suite): average end-to-end delay vs pause time.
+// Expected shape: delay falls with pause time as fewer packets wait on
+// route discovery; DSR/CBRP (cached source routes) below AODV at high churn.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep(manet::bench::kReactiveTrio, "pause",
+                               {0, 30, 60, 120}, manet::bench::Metric::kDelay,
+                               manet::bench::pause_cell);
+  return manet::bench::run_main(
+      argc, argv, "Fig 10 — Delay vs pause time (delay_ms, AODV/DSR/CBRP, 40 nodes)");
+}

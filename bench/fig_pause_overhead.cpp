@@ -1,0 +1,12 @@
+// Fig 11 (Boukerche suite): normalized routing overhead vs pause time.
+// Expected shape: overhead falls as mobility pauses lengthen; AODV highest
+// (flooded RREQs per break), DSR/CBRP lower — the paper's headline ranking.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep(manet::bench::kReactiveTrio, "pause",
+                               {0, 30, 60, 120}, manet::bench::Metric::kNrl,
+                               manet::bench::pause_cell);
+  return manet::bench::run_main(
+      argc, argv, "Fig 11 — Routing overhead vs pause time (nrl, AODV/DSR/CBRP, 40 nodes)");
+}

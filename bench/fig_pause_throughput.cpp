@@ -1,0 +1,14 @@
+// Fig 9 (Boukerche suite): delivered throughput vs pause time, AODV/DSR/CBRP,
+// 40 nodes in 1500 x 300 m at v_max 20 m/s.
+// Expected shape: throughput rises with pause time (less churn); the three
+// protocols converge as the network approaches static.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep(manet::bench::kReactiveTrio, "pause",
+                               {0, 30, 60, 120}, manet::bench::Metric::kThroughput,
+                               manet::bench::pause_cell);
+  return manet::bench::run_main(
+      argc, argv,
+      "Fig 9 — Throughput vs pause time (kbps, AODV/DSR/CBRP, 40 nodes, 1500x300 m)");
+}

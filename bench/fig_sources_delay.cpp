@@ -1,0 +1,12 @@
+// Fig 13 (Boukerche suite): average end-to-end delay vs offered load.
+// Expected shape: delay explodes past the saturation knee (queueing); source-
+// routed protocols hold out slightly longer than AODV.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep(manet::bench::kReactiveTrio, "sources",
+                               {5, 10, 20, 30}, manet::bench::Metric::kDelay,
+                               manet::bench::sources_cell);
+  return manet::bench::run_main(
+      argc, argv, "Fig 13 — Delay vs offered load (delay_ms, AODV/DSR/CBRP, 40 nodes)");
+}

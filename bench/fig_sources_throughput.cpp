@@ -1,0 +1,13 @@
+// Fig 12 (Boukerche suite): delivered throughput vs offered load (number of
+// CBR sources).
+// Expected shape: linear rise, then saturation as the 2 Mbit/s medium fills;
+// AODV saturates earliest (discovery floods compete with data).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::register_sweep(manet::bench::kReactiveTrio, "sources",
+                               {5, 10, 20, 30}, manet::bench::Metric::kThroughput,
+                               manet::bench::sources_cell);
+  return manet::bench::run_main(
+      argc, argv, "Fig 12 — Throughput vs offered load (kbps, AODV/DSR/CBRP, 40 nodes)");
+}

@@ -1,0 +1,87 @@
+// Micro-benchmarks of the simulation kernel itself: event queue throughput,
+// cancellation, RNG draw rate, grid queries, and whole-scenario event rate —
+// the numbers that determine how many replications a figure costs.
+#include <benchmark/benchmark.h>
+
+#include "core/event_queue.hpp"
+#include "core/rng.hpp"
+#include "core/simulator.hpp"
+#include "geom/grid_index.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace manet;
+
+void EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  RngStream rng(1);
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.schedule(nanoseconds(rng.uniform_int(0, 1'000'000)), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(EventQueueScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void EventQueueCancelHeavy(benchmark::State& state) {
+  RngStream rng(2);
+  for (auto _ : state) {
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 10'000; ++i) {
+      ids.push_back(q.schedule(nanoseconds(rng.uniform_int(0, 1'000'000)), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(EventQueueCancelHeavy);
+
+void RngDraws(benchmark::State& state) {
+  RngStream rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(RngDraws);
+
+void GridQuery(benchmark::State& state) {
+  RngStream rng(4);
+  GridIndex g({1000.0, 1000.0}, 550.0);
+  for (int i = 0; i < 90; ++i) {
+    g.insert({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  }
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    g.query({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)}, 550.0, 0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(GridQuery);
+
+void ScenarioEventRate(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    ScenarioConfig cfg;
+    cfg.protocol = Protocol::kAodv;
+    cfg.num_nodes = 30;
+    cfg.duration = seconds(20);
+    cfg.seed = static_cast<std::uint64_t>(state.iterations());
+    const auto r = Scenario::run_once(cfg);
+    events += r.events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events_per_run"] =
+      static_cast<double>(events) / static_cast<double>(state.iterations());
+}
+BENCHMARK(ScenarioEventRate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

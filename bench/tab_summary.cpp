@@ -1,0 +1,17 @@
+// Table II: cross-suite summary — every protocol under the Table-I default
+// scenario (50 nodes, v_max 20, pause 0), all four canonical metrics per row.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  for (const manet::Protocol p : manet::bench::kAll) {
+    benchmark::RegisterBenchmark(manet::to_string(p), [p](benchmark::State& state) {
+      manet::ScenarioConfig cfg;
+      cfg.protocol = p;
+      cfg.seed = 1;
+      manet::bench::run_cell(state, cfg, manet::bench::Metric::kAll);
+    })->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+  return manet::bench::run_main(
+      argc, argv,
+      "Table II — Summary: all metrics per protocol (Table-I defaults: 50 nodes, v_max 20)");
+}

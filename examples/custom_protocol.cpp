@@ -1,0 +1,95 @@
+// Extending manetsim with a custom routing protocol.
+//
+// Implements naive network-wide flooding ("every data packet is broadcast;
+// every node rebroadcasts unseen packets") through the public RoutingProtocol
+// interface, runs it against AODV on the same scenario, and prints the
+// comparison. Flooding delivers well but at a crushing MAC cost — a nice
+// demonstration of why the paper's protocols exist, and a template for
+// plugging in your own design.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "net/node.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace manet;
+
+class Flooding final : public RoutingProtocol {
+ public:
+  explicit Flooding(Node& node) : RoutingProtocol(node) {}
+
+  void start() override {}
+
+  void route_packet(Packet pkt) override {
+    // Every data packet travels as a broadcast storm. Duplicate suppression
+    // by (source, flow, seq); delivery is handled by the Node when a copy
+    // reaches the destination... except broadcasts are not addressed, so we
+    // deliver by inspection here and rebroadcast otherwise.
+    if (!seen_.insert(key(pkt)).second) return;
+    if (pkt.ip.ttl <= 1) {
+      node_.drop(pkt, DropReason::kTtlExpired);
+      return;
+    }
+    --pkt.ip.ttl;
+    node_.send_broadcast(std::move(pkt));
+  }
+
+  void on_control(const Packet&, NodeId) override {}
+
+  [[nodiscard]] const char* name() const override { return "FLOOD"; }
+
+ private:
+  static std::uint64_t key(const Packet& p) {
+    return (static_cast<std::uint64_t>(p.ip.src) << 40) ^
+           (static_cast<std::uint64_t>(p.app.flow) << 20) ^ p.app.seq;
+  }
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+ScenarioResult run_flooding(const ScenarioConfig& cfg) {
+  // Assemble manually: Scenario's factory only knows the built-in five, so
+  // this is exactly what a downstream user with a new protocol would write.
+  Scenario s(cfg);
+  s.build();
+  std::vector<std::unique_ptr<Flooding>> agents;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    agents.push_back(std::make_unique<Flooding>(s.node(i)));
+    s.node(i).set_routing(agents.back().get());
+  }
+  return s.run();
+}
+
+void print_row(const char* name, const ScenarioResult& r) {
+  std::printf("%-6s | %7.1f %% | %9.2f ms | %7.2f | %7.2f\n", name, r.pdr * 100.0,
+              r.delay_ms, r.nrl, r.nml);
+}
+
+}  // namespace
+
+int main() {
+  ScenarioConfig cfg;
+  cfg.num_nodes = 30;
+  cfg.area = {800.0, 800.0};
+  cfg.v_max = 10.0;
+  cfg.num_connections = 6;
+  cfg.duration = seconds(60);
+  cfg.seed = 99;
+
+  std::printf("custom protocol demo: naive flooding vs AODV, %u nodes\n\n", cfg.num_nodes);
+  std::printf("proto  |     PDR   |     delay    |   NRL   |   NML\n");
+  std::printf("-------+-----------+--------------+---------+---------\n");
+
+  print_row("FLOOD", run_flooding(cfg));
+
+  cfg.protocol = Protocol::kAodv;
+  print_row("AODV", Scenario::run_once(cfg));
+
+  std::printf(
+      "\nFlooding needs no control packets (NRL 0) but every data packet is\n"
+      "transmitted by every node — compare per-packet MAC cost and watch the\n"
+      "medium saturate as the network grows.\n");
+  return 0;
+}

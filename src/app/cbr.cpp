@@ -1,0 +1,26 @@
+#include "app/cbr.hpp"
+
+#include "core/assert.hpp"
+
+namespace manet {
+
+CbrSource::CbrSource(Node& node, const Config& cfg) : node_(node), cfg_(cfg) {
+  MANET_EXPECTS(cfg.interval > SimTime::zero());
+  MANET_EXPECTS(cfg.payload_bytes > 0);
+}
+
+void CbrSource::start() {
+  node_.sim().schedule_at(cfg_.start, [this] { send_one(); });
+}
+
+void CbrSource::send_one() {
+  if (node_.sim().now() > cfg_.stop) return;
+  Packet pkt;
+  pkt.ip.dst = cfg_.dst;
+  pkt.payload_bytes = cfg_.payload_bytes;
+  pkt.app = AppHeader{.flow = cfg_.flow, .seq = seq_++, .sent_at = node_.sim().now()};
+  node_.originate(std::move(pkt));
+  node_.sim().schedule(cfg_.interval, [this] { send_one(); });
+}
+
+}  // namespace manet

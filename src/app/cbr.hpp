@@ -1,0 +1,38 @@
+// Constant-bit-rate traffic source over UDP — the workload of the whole
+// paper family (512-byte packets at a fixed rate between randomly chosen
+// source/destination pairs). The matching sink lives in the Node, which
+// terminates data packets addressed to it and feeds the StatsCollector.
+#pragma once
+
+#include "core/time.hpp"
+#include "net/node.hpp"
+
+namespace manet {
+
+class CbrSource {
+ public:
+  struct Config {
+    std::uint32_t flow = 0;
+    NodeId dst = 0;
+    std::size_t payload_bytes = 512;
+    SimTime interval = milliseconds(250);  // 4 packets/s
+    SimTime start = seconds(10);
+    SimTime stop = SimTime::max();
+  };
+
+  CbrSource(Node& node, const Config& cfg);
+
+  /// Schedule the first packet; call once before the simulation runs.
+  void start();
+
+  [[nodiscard]] std::uint32_t packets_sent() const { return seq_; }
+
+ private:
+  void send_one();
+
+  Node& node_;
+  Config cfg_;
+  std::uint32_t seq_ = 0;
+};
+
+}  // namespace manet

@@ -1,0 +1,41 @@
+#include "app/onoff.hpp"
+
+#include "core/assert.hpp"
+
+namespace manet {
+
+OnOffSource::OnOffSource(Node& node, const Config& cfg, RngStream rng)
+    : node_(node), cfg_(cfg), rng_(rng) {
+  MANET_EXPECTS(cfg.interval > SimTime::zero());
+  MANET_EXPECTS(cfg.burst_mean > SimTime::zero() && cfg.idle_mean > SimTime::zero());
+}
+
+void OnOffSource::start() {
+  node_.sim().schedule_at(cfg_.start, [this] { begin_burst(); });
+}
+
+void OnOffSource::begin_burst() {
+  if (node_.sim().now() > cfg_.stop) return;
+  on_ = true;
+  const SimTime burst = seconds_f(rng_.exponential(cfg_.burst_mean.sec()));
+  burst_end_ = node_.sim().now() + burst;
+  send_one();
+}
+
+void OnOffSource::send_one() {
+  if (node_.sim().now() > cfg_.stop) return;
+  if (node_.sim().now() >= burst_end_) {
+    on_ = false;
+    const SimTime idle = seconds_f(rng_.exponential(cfg_.idle_mean.sec()));
+    node_.sim().schedule(idle, [this] { begin_burst(); });
+    return;
+  }
+  Packet pkt;
+  pkt.ip.dst = cfg_.dst;
+  pkt.payload_bytes = cfg_.payload_bytes;
+  pkt.app = AppHeader{.flow = cfg_.flow, .seq = seq_++, .sent_at = node_.sim().now()};
+  node_.originate(std::move(pkt));
+  node_.sim().schedule(cfg_.interval, [this] { send_one(); });
+}
+
+}  // namespace manet

@@ -1,0 +1,30 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures(). Enabled in all build types: simulation bugs must fail
+// loudly, not corrupt statistics silently. The cost is negligible next to the
+// event-queue work.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace manet::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr, const char* file,
+                                          int line) {
+  std::fprintf(stderr, "manetsim: %s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace manet::detail
+
+#define MANET_EXPECTS(cond)                                                        \
+  ((cond) ? static_cast<void>(0)                                                   \
+          : ::manet::detail::contract_failure("precondition", #cond, __FILE__, __LINE__))
+
+#define MANET_ENSURES(cond)                                                        \
+  ((cond) ? static_cast<void>(0)                                                   \
+          : ::manet::detail::contract_failure("postcondition", #cond, __FILE__, __LINE__))
+
+#define MANET_ASSERT(cond)                                                         \
+  ((cond) ? static_cast<void>(0)                                                   \
+          : ::manet::detail::contract_failure("invariant", #cond, __FILE__, __LINE__))

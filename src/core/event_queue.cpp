@@ -1,0 +1,53 @@
+#include "core/event_queue.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace manet {
+
+EventId EventQueue::schedule(SimTime at, Callback cb) {
+  MANET_EXPECTS(cb != nullptr);
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{at, next_seq_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  pending_.erase(id);
+  // The heap node is discarded lazily when it reaches the top.
+}
+
+void EventQueue::discard_cancelled_top() {
+  while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  MANET_EXPECTS(!empty());
+  discard_cancelled_top();
+  MANET_ASSERT(!heap_.empty());
+  return heap_.front().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  MANET_EXPECTS(!empty());
+  discard_cancelled_top();
+  MANET_ASSERT(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  return Popped{e.time, e.id, std::move(e.cb)};
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  pending_.clear();
+}
+
+}  // namespace manet

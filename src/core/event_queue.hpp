@@ -1,0 +1,82 @@
+// The event queue at the heart of the discrete-event kernel.
+//
+// A binary min-heap ordered by (time, insertion sequence). Ties in time are
+// broken by insertion order so simulations are deterministic regardless of
+// heap internals. Cancellation is lazy: the queue tracks the set of pending
+// ids; a cancelled entry simply leaves the set and its heap node is discarded
+// when it surfaces. cancel() is O(1); pop() is O(log n) amortized. The MAC
+// layer cancels timers constantly, so this path matters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace manet {
+
+/// Handle to a scheduled event; used to cancel it. Ids are never reused.
+using EventId = std::uint64_t;
+
+/// Sentinel for "no event".
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `at`. Returns a handle for cancel().
+  EventId schedule(SimTime at, Callback cb);
+
+  /// Cancel a previously scheduled event. Cancelling an already-executed,
+  /// already-cancelled, or invalid id is a harmless no-op.
+  void cancel(EventId id);
+
+  /// True iff `id` is scheduled and not yet executed or cancelled.
+  [[nodiscard]] bool pending(EventId id) const { return pending_.contains(id); }
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time();
+
+  /// Remove and return the earliest live event. Precondition: !empty().
+  struct Popped {
+    SimTime time;
+    EventId id;
+    Callback cb;
+  };
+  Popped pop();
+
+  /// Drop everything (used when tearing down a simulation early).
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // insertion order; tie-break for determinism
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void discard_cancelled_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;  // 0 is kInvalidEventId
+};
+
+}  // namespace manet

@@ -1,0 +1,19 @@
+#include "core/log.hpp"
+
+namespace manet {
+
+LogLevel Log::level_ = LogLevel::kNone;
+
+void Log::write(LogLevel lvl, SimTime now, const char* tag, const std::string& msg) {
+  const char* prefix = "?";
+  switch (lvl) {
+    case LogLevel::kError: prefix = "E"; break;
+    case LogLevel::kWarn: prefix = "W"; break;
+    case LogLevel::kInfo: prefix = "I"; break;
+    case LogLevel::kDebug: prefix = "D"; break;
+    case LogLevel::kNone: break;
+  }
+  std::fprintf(stderr, "%s [%12.6fs] %s: %s\n", prefix, now.sec(), tag, msg.c_str());
+}
+
+}  // namespace manet

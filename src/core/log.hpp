@@ -1,0 +1,43 @@
+// Minimal leveled logging with per-component tags.
+//
+// Logging is off by default (simulations are silent); tests and debugging
+// sessions turn it on with Log::set_level(). Messages are formatted only when
+// the level is enabled, so disabled logging costs one branch.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/time.hpp"
+
+namespace manet {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+class Log {
+ public:
+  static void set_level(LogLevel lvl) { level_ = lvl; }
+  [[nodiscard]] static LogLevel level() { return level_; }
+  [[nodiscard]] static bool enabled(LogLevel lvl) {
+    return static_cast<int>(lvl) <= static_cast<int>(level_);
+  }
+
+  /// Print one log line: "[  12.345678s] tag: message".
+  static void write(LogLevel lvl, SimTime now, const char* tag, const std::string& msg);
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace manet
+
+#define MANET_LOG(lvl, sim, tag, msg)                                        \
+  do {                                                                       \
+    if (::manet::Log::enabled(lvl)) {                                        \
+      ::manet::Log::write(lvl, (sim).now(), tag, msg);                       \
+    }                                                                        \
+  } while (0)
+
+#define MANET_DEBUG(sim, tag, msg) MANET_LOG(::manet::LogLevel::kDebug, sim, tag, msg)
+#define MANET_INFO(sim, tag, msg) MANET_LOG(::manet::LogLevel::kInfo, sim, tag, msg)
+#define MANET_WARN(sim, tag, msg) MANET_LOG(::manet::LogLevel::kWarn, sim, tag, msg)

@@ -1,0 +1,76 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/assert.hpp"
+
+namespace manet {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void RngStream::seed_from(std::uint64_t seed) {
+  // xoshiro's authors recommend seeding the state with splitmix64 output;
+  // this also guarantees the state is never all-zero.
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+}
+
+RngStream::RngStream(std::uint64_t seed) { seed_from(seed); }
+
+RngStream::RngStream(std::uint64_t root_seed, std::string_view name, std::uint64_t index) {
+  std::uint64_t mix = root_seed ^ rotl(fnv1a(name), 17) ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  seed_from(splitmix64(mix));
+}
+
+std::uint64_t RngStream::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double RngStream::uniform() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::uniform(double lo, double hi) {
+  MANET_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  MANET_EXPECTS(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % span);
+  std::uint64_t r;
+  do {
+    r = next_u64();
+  } while (r > limit);
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double RngStream::exponential(double mean) {
+  MANET_EXPECTS(mean > 0.0);
+  // -mean * ln(1-U); 1-U avoids log(0).
+  return -mean * std::log1p(-uniform());
+}
+
+double RngStream::normal(double mean, double stddev) {
+  const double u1 = 1.0 - uniform();  // (0,1]
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace manet

@@ -1,0 +1,39 @@
+#include "core/simulator.hpp"
+
+#include "core/assert.hpp"
+
+namespace manet {
+
+EventId Simulator::schedule(SimTime delay, EventQueue::Callback cb) {
+  MANET_EXPECTS(delay >= SimTime::zero());
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::schedule_at(SimTime at, EventQueue::Callback cb) {
+  MANET_EXPECTS(at >= now_);
+  return queue_.schedule(at, std::move(cb));
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  stopped_ = false;
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.next_time() > until) break;
+    auto ev = queue_.pop();
+    MANET_ASSERT(ev.time >= now_);
+    now_ = ev.time;
+    ev.cb();
+    ++ran;
+    ++events_executed_;
+  }
+  // Advance the clock to the horizon even if the queue drained early, so a
+  // subsequent run_until() continues from a consistent point.
+  if (!stopped_ && (queue_.empty() || queue_.next_time() > until)) {
+    if (until > now_ && until != SimTime::max()) now_ = until;
+  }
+  return ran;
+}
+
+std::uint64_t Simulator::run() { return run_until(SimTime::max()); }
+
+}  // namespace manet

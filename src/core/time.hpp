@@ -1,0 +1,79 @@
+// Simulation time.
+//
+// Time is kept as a 64-bit signed count of nanoseconds since the start of the
+// simulation. Integer time keeps the event queue exactly ordered — there is
+// no floating-point drift when summing many small MAC-layer intervals — and
+// 2^63 ns is ~292 years of simulated time, far beyond any scenario here.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace manet {
+
+/// A point in simulated time or a duration, in integer nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  /// Number of nanoseconds (may be negative for differences).
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  /// Value converted to microseconds as a double.
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) * 1e-3; }
+  /// Value converted to milliseconds as a double.
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+  /// Value converted to seconds as a double.
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) * 1e-9; }
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  friend constexpr bool operator==(SimTime, SimTime) = default;
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.ns_ + b.ns_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.ns_ - b.ns_}; }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.ns_ * k}; }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return SimTime{a.ns_ * k}; }
+  friend constexpr std::int64_t operator/(SimTime a, SimTime b) { return a.ns_ / b.ns_; }
+
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Construct a SimTime from nanoseconds.
+[[nodiscard]] constexpr SimTime nanoseconds(std::int64_t v) { return SimTime{v}; }
+/// Construct a SimTime from microseconds.
+[[nodiscard]] constexpr SimTime microseconds(std::int64_t v) { return SimTime{v * 1'000}; }
+/// Construct a SimTime from milliseconds.
+[[nodiscard]] constexpr SimTime milliseconds(std::int64_t v) { return SimTime{v * 1'000'000}; }
+/// Construct a SimTime from whole seconds.
+[[nodiscard]] constexpr SimTime seconds(std::int64_t v) { return SimTime{v * 1'000'000'000}; }
+/// Construct a SimTime from fractional seconds (rounded to nearest ns).
+[[nodiscard]] constexpr SimTime seconds_f(double v) {
+  return SimTime{static_cast<std::int64_t>(v * 1e9 + (v >= 0 ? 0.5 : -0.5))};
+}
+
+/// Human-readable rendering, e.g. "12.345678ms".
+[[nodiscard]] inline std::string to_string(SimTime t) {
+  const double s = t.sec();
+  if (s >= 1.0 || s <= -1.0) return std::to_string(s) + "s";
+  const double ms = t.ms();
+  if (ms >= 1.0 || ms <= -1.0) return std::to_string(ms) + "ms";
+  return std::to_string(t.us()) + "us";
+}
+
+}  // namespace manet

@@ -1,0 +1,131 @@
+// IEEE 802.11-DCF-style MAC.
+//
+// Implements the protocol-visible behaviours the routing comparison depends
+// on, with the standard's timing constants:
+//   * CSMA/CA: physical carrier sense (from the transceiver) plus virtual
+//     carrier sense (NAV from overheard RTS/CTS/DATA duration fields);
+//   * DIFS deferral and binary-exponential backoff (CW 31 -> 1023), with the
+//     backoff counter frozen while the medium is busy;
+//   * RTS/CTS/DATA/ACK exchange for unicast, with separate short (7) and
+//     long (4) retry limits; retry exhaustion is reported upward as a link
+//     failure — this is the 802.11 link-layer feedback AODV/DSR/CBRP use for
+//     route-error generation;
+//   * broadcast data sent after DIFS+backoff with no RTS/CTS/ACK (and hence
+//     unreliable under contention — the root cause of several effects in the
+//     paper family's plots);
+//   * a 50-packet drop-tail interface queue;
+//   * receive-side duplicate filtering via per-sender sequence numbers.
+//
+// Simplifications (documented in DESIGN.md): no EIFS, no capture effect, a
+// single rate for all frames plus a fixed PLCP preamble.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "core/rng.hpp"
+#include "core/simulator.hpp"
+#include "mac/mac_config.hpp"
+#include "packet/packet.hpp"
+#include "phy/transceiver.hpp"
+#include "stats/stats.hpp"
+
+namespace manet {
+
+/// Upward interface implemented by the Node.
+class MacListener {
+ public:
+  virtual ~MacListener() = default;
+  /// An intact, non-duplicate frame addressed to this node (or broadcast).
+  virtual void mac_deliver(const Packet& frame) = 0;
+  /// Unicast delivery to `next_hop` failed after all retries.
+  virtual void mac_link_failure(const Packet& frame, NodeId next_hop) = 0;
+};
+
+class WifiMac final : public PhyListener {
+ public:
+  WifiMac(Simulator& sim, const MacConfig& cfg, Transceiver& trx, StatsCollector& stats,
+          RngStream rng);
+
+  void set_listener(MacListener* l) { listener_ = l; }
+
+  /// Queue a frame for transmission. `pkt.mac.dst` must already hold the
+  /// next-hop (or broadcast) address; everything else MAC-related is filled
+  /// in here.
+  void enqueue(Packet pkt);
+
+  /// Number of frames waiting (including the one in service).
+  [[nodiscard]] std::size_t queue_length() const {
+    return ifq_.size() + (current_.has_value() ? 1 : 0);
+  }
+
+  // PhyListener:
+  void phy_busy_start() override;
+  void phy_busy_end() override;
+  void phy_rx(const Packet& frame) override;
+
+ private:
+  enum class State : std::uint8_t {
+    kIdle,      // nothing in service
+    kContend,   // waiting for DIFS/backoff to transmit `current_`
+    kWaitCts,   // RTS sent, awaiting CTS
+    kSendData,  // CTS received, DATA scheduled after SIFS
+    kWaitAck,   // DATA sent, awaiting ACK
+  };
+
+  // -- contention engine ------------------------------------------------------
+  void start_service();          // begin serving the next queued frame
+  void begin_contention();
+  void medium_check();
+  void difs_elapsed();
+  void backoff_done();
+  void freeze_backoff();
+  [[nodiscard]] bool medium_free() const;
+  [[nodiscard]] SimTime idle_since() const;
+
+  // -- transmit paths -----------------------------------------------------------
+  void transmit_current();
+  void transmit_data_frame();    // the DATA frame of the current exchange
+  void schedule_response(Packet frame);  // CTS/ACK after SIFS
+  void count_tx(const Packet& frame);
+
+  // -- outcome handling -----------------------------------------------------
+  void cts_timeout();
+  void ack_timeout();
+  void handle_retry(bool short_stage);
+  void finish_current(bool success);
+
+  // -- receive side ----------------------------------------------------------
+  void update_nav(SimTime duration);
+
+  Simulator& sim_;
+  MacConfig cfg_;
+  Transceiver& trx_;
+  StatsCollector& stats_;
+  RngStream rng_;
+  MacListener* listener_ = nullptr;
+
+  std::deque<Packet> ifq_;
+  std::optional<Packet> current_;
+  State state_ = State::kIdle;
+
+  int short_retries_ = 0;
+  int long_retries_ = 0;
+  std::uint32_t cw_;
+  std::uint32_t backoff_slots_ = 0;
+  SimTime backoff_started_ = SimTime::zero();
+
+  SimTime nav_until_ = SimTime::zero();
+  SimTime last_idle_start_ = SimTime::zero();
+
+  EventId difs_ev_ = kInvalidEventId;
+  EventId nav_ev_ = kInvalidEventId;
+  EventId backoff_ev_ = kInvalidEventId;
+  EventId timeout_ev_ = kInvalidEventId;
+
+  std::uint16_t tx_seq_ = 0;
+  std::unordered_map<NodeId, std::uint16_t> rx_last_seq_;
+};
+
+}  // namespace manet

@@ -1,0 +1,63 @@
+#include "mobility/manhattan.hpp"
+
+#include "core/assert.hpp"
+
+namespace manet {
+
+Manhattan::Manhattan(const ManhattanConfig& cfg, RngStream rng) : cfg_(cfg), rng_(rng) {
+  MANET_EXPECTS(cfg.block > 0.0);
+  MANET_EXPECTS(cfg.v_min > 0.0 && cfg.v_max >= cfg.v_min);
+  MANET_EXPECTS(cfg.area.width >= cfg.block && cfg.area.height >= cfg.block);
+  ix_ = static_cast<int>(rng_.uniform_int(0, max_ix()));
+  iy_ = static_cast<int>(rng_.uniform_int(0, max_iy()));
+  if (rng_.chance(0.5)) {
+    dx_ = rng_.chance(0.5) ? 1 : -1;
+    dy_ = 0;
+  } else {
+    dx_ = 0;
+    dy_ = rng_.chance(0.5) ? 1 : -1;
+  }
+  leg_.to = {ix_ * cfg_.block, iy_ * cfg_.block};
+  leg_.arrive = SimTime::zero();
+  next_leg();
+}
+
+int Manhattan::max_ix() const { return static_cast<int>(cfg_.area.width / cfg_.block); }
+int Manhattan::max_iy() const { return static_cast<int>(cfg_.area.height / cfg_.block); }
+
+void Manhattan::next_leg() {
+  // At the intersection (ix_, iy_): keep straight or turn, then reject
+  // directions that leave the grid (turn back instead).
+  if (rng_.chance(cfg_.p_turn)) {
+    // Turn: swap the axis of travel; pick a side uniformly.
+    const int side = rng_.chance(0.5) ? 1 : -1;
+    if (dx_ != 0) {
+      dx_ = 0;
+      dy_ = side;
+    } else {
+      dy_ = 0;
+      dx_ = side;
+    }
+  }
+  // Clamp to the grid: reverse when the step would leave it.
+  if (ix_ + dx_ < 0 || ix_ + dx_ > max_ix()) dx_ = -dx_;
+  if (iy_ + dy_ < 0 || iy_ + dy_ > max_iy()) dy_ = -dy_;
+
+  leg_.from = {ix_ * cfg_.block, iy_ * cfg_.block};
+  ix_ += dx_;
+  iy_ += dy_;
+  leg_.to = {ix_ * cfg_.block, iy_ * cfg_.block};
+  leg_.depart = leg_.arrive;
+  const double speed = rng_.uniform(cfg_.v_min, cfg_.v_max);
+  leg_.arrive = leg_.depart + seconds_f(cfg_.block / speed);
+}
+
+Vec2 Manhattan::position_at(SimTime t) {
+  while (t >= leg_.arrive) next_leg();
+  if (t <= leg_.depart) return leg_.from;
+  const double frac = static_cast<double>((t - leg_.depart).ns()) /
+                      static_cast<double>((leg_.arrive - leg_.depart).ns());
+  return leg_.from + (leg_.to - leg_.from) * frac;
+}
+
+}  // namespace manet

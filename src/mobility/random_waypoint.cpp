@@ -1,0 +1,44 @@
+#include "mobility/random_waypoint.hpp"
+
+#include "core/assert.hpp"
+
+namespace manet {
+
+RandomWaypoint::RandomWaypoint(const RandomWaypointConfig& cfg, RngStream rng)
+    : cfg_(cfg), rng_(rng) {
+  MANET_EXPECTS(cfg.v_min > 0.0 && cfg.v_max >= cfg.v_min);
+  from_ = {rng_.uniform(0.0, cfg_.area.width), rng_.uniform(0.0, cfg_.area.height)};
+  to_ = from_;
+  depart_ = arrive_ = leg_end_ = SimTime::zero();
+  next_leg();
+  // Warm-up: run the process forward so position/speed at t=0 approximate
+  // the stationary distribution, then shift the clock back.
+  if (cfg_.warmup > SimTime::zero()) {
+    (void)position_at(cfg_.warmup);
+    depart_ -= cfg_.warmup;
+    arrive_ -= cfg_.warmup;
+    leg_end_ -= cfg_.warmup;
+  }
+}
+
+void RandomWaypoint::next_leg() {
+  from_ = to_;
+  depart_ = leg_end_;
+  to_ = {rng_.uniform(0.0, cfg_.area.width), rng_.uniform(0.0, cfg_.area.height)};
+  const double speed = rng_.uniform(cfg_.v_min, cfg_.v_max);
+  const double dist = distance(from_, to_);
+  arrive_ = depart_ + seconds_f(dist / speed);
+  leg_end_ = arrive_ + cfg_.pause;
+  MANET_ENSURES(leg_end_ >= depart_);
+}
+
+Vec2 RandomWaypoint::position_at(SimTime t) {
+  while (t >= leg_end_) next_leg();
+  if (t >= arrive_) return to_;  // pausing at the waypoint
+  if (t <= depart_) return from_;
+  const double frac = static_cast<double>((t - depart_).ns()) /
+                      static_cast<double>((arrive_ - depart_).ns());
+  return from_ + (to_ - from_) * frac;
+}
+
+}  // namespace manet

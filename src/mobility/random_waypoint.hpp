@@ -1,0 +1,46 @@
+// Random waypoint — the mobility model of the entire 1998–2014 MANET
+// comparison literature (Broch '98, Das '00, Boukerche '01, ...).
+//
+// A node picks a uniform destination in the area, travels to it in a straight
+// line at a speed drawn uniformly from [v_min, v_max], pauses for `pause`,
+// and repeats. The well-known caveats are handled:
+//   * v_min > 0 by default (0.1 m/s) so average speed does not decay to zero
+//     over time (Yoon et al.'s "harmful" pathology);
+//   * an optional warm-up pre-advances the process so t = 0 samples from a
+//     distribution close to the stationary one rather than the uniform
+//     initial placement.
+#pragma once
+
+#include "core/rng.hpp"
+#include "mobility/mobility_model.hpp"
+
+namespace manet {
+
+struct RandomWaypointConfig {
+  Area area{1000.0, 1000.0};
+  double v_min = 0.1;   // m/s; strictly positive unless the node is static
+  double v_max = 20.0;  // m/s
+  SimTime pause = SimTime::zero();
+  SimTime warmup = seconds(1000);  // pre-advance towards stationarity
+};
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  /// `rng` seeds this node's private movement stream.
+  RandomWaypoint(const RandomWaypointConfig& cfg, RngStream rng);
+
+  Vec2 position_at(SimTime t) override;
+  [[nodiscard]] double max_speed() const override { return cfg_.v_max; }
+
+ private:
+  void next_leg();
+
+  RandomWaypointConfig cfg_;
+  RngStream rng_;
+  // Current leg: travel from `from_` (departing at depart_) to `to_`
+  // (arriving at arrive_), then pause until `leg_end_`.
+  Vec2 from_{}, to_{};
+  SimTime depart_{}, arrive_{}, leg_end_{};
+};
+
+}  // namespace manet

@@ -1,0 +1,3 @@
+#include "mobility/static_mobility.hpp"
+
+// StaticMobility is header-only; this TU anchors the vtable.

@@ -1,0 +1,23 @@
+// A node that never moves. Used for the zero-mobility data points and for
+// all deterministic topology tests (lines, grids, stars).
+#pragma once
+
+#include "mobility/mobility_model.hpp"
+
+namespace manet {
+
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(Vec2 pos) : pos_(pos) {}
+
+  Vec2 position_at(SimTime) override { return pos_; }
+  [[nodiscard]] double max_speed() const override { return 0.0; }
+
+  /// Teleport the node (used by tests to force link breaks).
+  void set_position(Vec2 p) { pos_ = p; }
+
+ private:
+  Vec2 pos_;
+};
+
+}  // namespace manet

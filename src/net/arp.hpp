@@ -1,0 +1,67 @@
+// Address Resolution Protocol.
+//
+// Addresses are flat (the MAC address equals the network address), so
+// resolution always succeeds after one request/reply exchange — but the
+// exchange itself is real traffic, contends for the medium, and is counted
+// in the normalized MAC load exactly as the paper family's methodology
+// prescribes ("routing control packets, CTS, RTS, ARP requests and replies,
+// and MAC ACKs"). Behaviour mirrors the ns-2 ARP module: one packet may wait
+// per unresolved destination (a newer one evicts it), with bounded
+// re-requests.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "core/simulator.hpp"
+#include "mac/wifi_mac.hpp"
+#include "packet/packet.hpp"
+#include "stats/stats.hpp"
+
+namespace manet {
+
+class Arp {
+ public:
+  static constexpr int kMaxTries = 3;
+  static constexpr SimTime kRetryDelay = milliseconds(300);
+
+  Arp(Simulator& sim, NodeId self, WifiMac& mac, StatsCollector& stats);
+
+  /// Called when resolution of a next hop definitively fails with a packet
+  /// still waiting — link-layer failure feedback, exactly like MAC retry
+  /// exhaustion (an unresolvable neighbour is a gone neighbour). When unset,
+  /// the waiting data packet is counted as an ARP drop.
+  using FailureHandler = std::function<void(const Packet&, NodeId next_hop)>;
+  void set_failure_handler(FailureHandler h) { on_failure_ = std::move(h); }
+
+  /// Send `pkt` towards the link-layer neighbour `next_hop` (may be
+  /// kBroadcast, which needs no resolution).
+  void send(Packet pkt, NodeId next_hop);
+
+  /// Handle a received ARP frame.
+  void on_receive(const Packet& frame);
+
+  /// True if `next_hop` is already resolved (tests).
+  [[nodiscard]] bool resolved(NodeId next_hop) const { return cache_.contains(next_hop); }
+
+ private:
+  struct Pending {
+    Packet pkt;
+    int tries = 0;
+    EventId timer = kInvalidEventId;
+  };
+
+  void send_request(NodeId target);
+  void on_timeout(NodeId target);
+  void drop_pending(Packet& pkt);
+
+  Simulator& sim_;
+  NodeId self_;
+  WifiMac& mac_;
+  StatsCollector& stats_;
+  FailureHandler on_failure_;
+  std::unordered_map<NodeId, NodeId> cache_;     // net addr -> MAC addr
+  std::unordered_map<NodeId, Pending> pending_;  // awaiting resolution
+};
+
+}  // namespace manet

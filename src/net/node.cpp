@@ -1,0 +1,107 @@
+#include "net/node.hpp"
+
+#include "core/assert.hpp"
+
+namespace manet {
+
+Node::Node(Simulator& sim, StatsCollector& stats, Channel& channel, NodeId id,
+           MobilityPtr mobility, const MacConfig& mac_cfg, std::uint64_t root_seed)
+    : sim_(sim),
+      stats_(stats),
+      id_(id),
+      mobility_(std::move(mobility)),
+      trx_(sim, channel.config(), id),
+      mac_(sim, mac_cfg, trx_, stats, RngStream(root_seed, "mac", id)),
+      arp_(sim, id, mac_, stats) {
+  MANET_EXPECTS(mobility_ != nullptr);
+  trx_.set_stats(&stats);
+  mac_.set_listener(this);
+  // ARP give-up is link-layer failure feedback, same as MAC retry exhaustion.
+  arp_.set_failure_handler(
+      [this](const Packet& pkt, NodeId next_hop) { mac_link_failure(pkt, next_hop); });
+  channel.add(&trx_, mobility_.get());
+}
+
+void Node::originate(Packet pkt) {
+  pkt.kind = PacketKind::kData;
+  pkt.ip.src = id_;
+  pkt.ip.ttl = kInitialTtl;
+  pkt.ip.proto = IpProto::kUdp;
+  stats_.on_data_originated(pkt.app.flow);
+  if (trace_ != nullptr) trace_->record('s', sim_.now(), id_, pkt);
+  if (pkt.ip.dst == id_) {  // degenerate self-flow
+    deliver_to_sink(pkt);
+    return;
+  }
+  MANET_ASSERT(routing_ != nullptr);
+  routing_->route_packet(std::move(pkt));
+}
+
+void Node::send_with_next_hop(Packet pkt, NodeId next_hop) {
+  arp_.send(std::move(pkt), next_hop);
+}
+
+void Node::send_broadcast(Packet pkt) {
+  pkt.mac.dst = kBroadcast;
+  mac_.enqueue(std::move(pkt));
+}
+
+void Node::drop(const Packet& pkt, DropReason r) {
+  if (pkt.kind == PacketKind::kData) stats_.on_data_dropped(r);
+  if (trace_ != nullptr) trace_->record('D', sim_.now(), id_, pkt, to_string(r));
+}
+
+bool Node::decrement_ttl(Packet& pkt) {
+  if (pkt.ip.ttl <= 1) {
+    drop(pkt, DropReason::kTtlExpired);
+    return false;
+  }
+  --pkt.ip.ttl;
+  return true;
+}
+
+void Node::deliver_to_sink(const Packet& pkt) {
+  // PDR counts unique application packets; late duplicate copies (route
+  // flaps, flooding protocols) are tallied separately.
+  if (!sink_seen_.insert(sink_key(pkt)).second) {
+    stats_.on_duplicate_delivery();
+    return;
+  }
+  const SimTime delay = sim_.now() - pkt.app.sent_at;
+  const auto hops = static_cast<std::uint32_t>(kInitialTtl - pkt.ip.ttl + 1);
+  stats_.on_data_delivered(delay, pkt.payload_bytes, hops, pkt.app.flow);
+  if (trace_ != nullptr) trace_->record('r', sim_.now(), id_, pkt);
+}
+
+void Node::mac_deliver(const Packet& frame) {
+  switch (frame.kind) {
+    case PacketKind::kArp:
+      arp_.on_receive(frame);
+      return;
+    case PacketKind::kRoutingControl:
+      if (routing_ != nullptr) routing_->on_control(frame, frame.mac.src);
+      return;
+    case PacketKind::kData: {
+      if (frame.ip.dst == id_) {
+        deliver_to_sink(frame);
+        return;
+      }
+      // Forwarding: TTL is charged here, once per hop, for every protocol.
+      Packet pkt = frame;
+      if (!decrement_ttl(pkt)) return;
+      if (trace_ != nullptr) trace_->record('f', sim_.now(), id_, pkt);
+      if (routing_ != nullptr) routing_->route_packet(std::move(pkt));
+      return;
+    }
+  }
+}
+
+void Node::mac_link_failure(const Packet& frame, NodeId next_hop) {
+  if (routing_ != nullptr) {
+    routing_->on_link_failure(frame, next_hop);
+  } else {
+    drop(frame, DropReason::kMacRetryLimit);
+  }
+}
+
+}  // namespace manet

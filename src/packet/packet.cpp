@@ -1,0 +1,53 @@
+#include "packet/packet.hpp"
+
+#include <atomic>
+
+namespace manet {
+
+namespace {
+// Atomic so concurrently-running replications (ExperimentRunner worker
+// threads) never mint the same uid.
+std::atomic<std::uint64_t> g_next_uid{1};
+}  // namespace
+
+Packet::Packet() : uid_(g_next_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+Packet::Packet(const Packet& o)
+    : kind(o.kind),
+      mac(o.mac),
+      arp(o.arp),
+      ip(o.ip),
+      app(o.app),
+      payload_bytes(o.payload_bytes),
+      routing(o.routing ? o.routing->clone() : nullptr),
+      uid_(o.uid_) {}
+
+Packet& Packet::operator=(const Packet& o) {
+  if (this == &o) return *this;
+  kind = o.kind;
+  mac = o.mac;
+  arp = o.arp;
+  ip = o.ip;
+  app = o.app;
+  payload_bytes = o.payload_bytes;
+  routing = o.routing ? o.routing->clone() : nullptr;
+  uid_ = o.uid_;
+  return *this;
+}
+
+std::size_t Packet::size_bytes() const {
+  switch (mac.type) {
+    case MacFrameType::kRts: return kMacRtsBytes;
+    case MacFrameType::kCts: return kMacCtsBytes;
+    case MacFrameType::kAck: return kMacAckBytes;
+    case MacFrameType::kData: break;
+  }
+  std::size_t n = kMacDataHeaderBytes;
+  if (kind == PacketKind::kArp) return n + kArpBytes;
+  n += kIpHeaderBytes;
+  if (kind == PacketKind::kData) n += kUdpHeaderBytes + payload_bytes;
+  if (routing) n += routing->size_bytes();
+  return n;
+}
+
+}  // namespace manet

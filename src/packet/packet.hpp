@@ -1,0 +1,150 @@
+// The packet model.
+//
+// Packets are value types: the channel hands each receiver its own copy, so a
+// forwarding node can rewrite headers without aliasing surprises. Protocol-
+// specific routing content (AODV RREQs, DSR source routes, OLSR TC bodies,
+// ...) hangs off the packet as a clonable polymorphic payload, which keeps
+// this module independent of the individual routing protocols.
+//
+// Byte sizes follow the conventions of the ns-2 wireless stack the paper
+// family used, so transmission times and byte-counted overheads are
+// meaningful: 512-byte CBR payloads ride in ~580-byte frames at 2 Mbit/s.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/time.hpp"
+
+namespace manet {
+
+/// Flat node identifier; doubles as the MAC and network address (one radio
+/// interface per node, as in the paper family's scenarios).
+using NodeId = std::uint32_t;
+
+/// Link- and network-level broadcast address.
+inline constexpr NodeId kBroadcast = 0xFFFF'FFFFu;
+
+// ---------------------------------------------------------------------------
+// Header sizes (bytes). 802.11-style MAC framing + PLCP handled by the MAC.
+// ---------------------------------------------------------------------------
+inline constexpr std::size_t kMacDataHeaderBytes = 34;  // 24 hdr + 6 SNAP + 4 FCS
+inline constexpr std::size_t kMacRtsBytes = 20;
+inline constexpr std::size_t kMacCtsBytes = 14;
+inline constexpr std::size_t kMacAckBytes = 14;
+inline constexpr std::size_t kArpBytes = 28;
+inline constexpr std::size_t kIpHeaderBytes = 20;
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+
+// ---------------------------------------------------------------------------
+// MAC header
+// ---------------------------------------------------------------------------
+enum class MacFrameType : std::uint8_t { kData, kRts, kCts, kAck };
+
+struct MacHeader {
+  MacFrameType type = MacFrameType::kData;
+  NodeId src = 0;
+  NodeId dst = kBroadcast;
+  /// Remaining medium-reservation time (the NAV field of RTS/CTS/DATA).
+  SimTime duration = SimTime::zero();
+  /// Per-transmitter sequence number, for receive-side duplicate filtering
+  /// when a MAC ACK is lost and the data frame is retransmitted.
+  std::uint16_t seq = 0;
+  /// Retry flag (set on MAC retransmissions).
+  bool retry = false;
+};
+
+// ---------------------------------------------------------------------------
+// ARP
+// ---------------------------------------------------------------------------
+struct ArpHeader {
+  bool is_request = true;
+  NodeId sender = 0;
+  NodeId target = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Network layer
+// ---------------------------------------------------------------------------
+enum class IpProto : std::uint8_t { kUdp, kRouting };
+
+struct IpHeader {
+  NodeId src = 0;
+  NodeId dst = kBroadcast;
+  std::uint8_t ttl = 64;
+  IpProto proto = IpProto::kUdp;
+};
+
+// ---------------------------------------------------------------------------
+// Application (CBR) — rides over UDP. `sent_at` stamps origination time for
+// the end-to-end-delay metric; flow/seq key the PDR bookkeeping.
+// ---------------------------------------------------------------------------
+struct AppHeader {
+  std::uint32_t flow = 0;
+  std::uint32_t seq = 0;
+  SimTime sent_at = SimTime::zero();
+};
+
+// ---------------------------------------------------------------------------
+// Routing payloads: protocol-defined, clonable, size-aware.
+// ---------------------------------------------------------------------------
+class RoutingPayload {
+ public:
+  virtual ~RoutingPayload() = default;
+  [[nodiscard]] virtual std::unique_ptr<RoutingPayload> clone() const = 0;
+  /// On-the-wire size of the routing content in bytes.
+  [[nodiscard]] virtual std::size_t size_bytes() const = 0;
+};
+
+/// CRTP helper: gives a concrete payload a copy-based clone().
+template <class Derived>
+class RoutingPayloadBase : public RoutingPayload {
+ public:
+  [[nodiscard]] std::unique_ptr<RoutingPayload> clone() const final {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Packet
+// ---------------------------------------------------------------------------
+enum class PacketKind : std::uint8_t {
+  kArp,             ///< ARP request/reply (link-local)
+  kData,            ///< application data (CBR over UDP)
+  kRoutingControl,  ///< a routing-protocol control message
+};
+
+class Packet {
+ public:
+  Packet();
+  Packet(const Packet& o);
+  Packet& operator=(const Packet& o);
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(Packet&&) noexcept = default;
+
+  /// Globally unique id (fresh per construction; preserved by copies so a
+  /// frame and its per-receiver copies correlate in logs).
+  [[nodiscard]] std::uint64_t uid() const { return uid_; }
+
+  PacketKind kind = PacketKind::kData;
+  MacHeader mac;
+  ArpHeader arp;  // valid iff kind == kArp
+  IpHeader ip;    // valid unless kind == kArp
+  AppHeader app;  // valid iff kind == kData
+
+  /// Application payload size in bytes (e.g. 512 for the paper's CBR).
+  std::size_t payload_bytes = 0;
+
+  /// Protocol-owned routing content: a control message body, or a source
+  /// route / extension attached to a data packet. May be null.
+  std::unique_ptr<RoutingPayload> routing;
+
+  /// Total frame size in bytes as transmitted on the air (MAC framing
+  /// included); drives the transmission-time calculation.
+  [[nodiscard]] std::size_t size_bytes() const;
+
+ private:
+  std::uint64_t uid_;
+};
+
+}  // namespace manet

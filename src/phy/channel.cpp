@@ -1,0 +1,99 @@
+#include "phy/channel.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace manet {
+
+Channel::Channel(Simulator& sim, const PhyConfig& cfg, Area area, SimTime refresh,
+                 std::uint64_t seed)
+    : sim_(sim),
+      cfg_(cfg),
+      grid_(area, cfg.cs_range_m),
+      refresh_(refresh),
+      loss_rng_(seed, "channel-loss") {
+  MANET_EXPECTS(refresh > SimTime::zero());
+  MANET_EXPECTS(cfg.frame_loss_rate >= 0.0 && cfg.frame_loss_rate < 1.0);
+}
+
+void Channel::add(Transceiver* trx, MobilityModel* mob) {
+  MANET_EXPECTS(trx != nullptr && mob != nullptr);
+  MANET_EXPECTS(trx->id() == trx_.size());  // dense registration order
+  trx->attach_channel(this);
+  trx_.push_back(trx);
+  mob_.push_back(mob);
+  max_speed_ = std::max(max_speed_, mob->max_speed());
+  const std::uint32_t gid = grid_.insert(mob->position_at(sim_.now()));
+  MANET_ASSERT(gid == trx->id());
+}
+
+void Channel::start() {
+  sim_.schedule(refresh_, [this] { refresh_positions(); });
+}
+
+void Channel::refresh_positions() {
+  for (std::uint32_t i = 0; i < trx_.size(); ++i) {
+    grid_.update(i, mob_[i]->position_at(sim_.now()));
+  }
+  sim_.schedule(refresh_, [this] { refresh_positions(); });
+}
+
+Vec2 Channel::position_of(NodeId id) {
+  MANET_EXPECTS(id < mob_.size());
+  const Vec2 p = mob_[id]->position_at(sim_.now());
+  grid_.update(id, p);
+  return p;
+}
+
+SimTime Channel::transmit(NodeId sender, const Packet& frame) {
+  MANET_EXPECTS(sender < trx_.size());
+  const SimTime airtime = cfg_.airtime(frame.size_bytes());
+  const Vec2 src = position_of(sender);
+
+  // Grid query with slack: a node may have moved up to v_max * refresh since
+  // its slot was updated, and the sender itself is exact, hence one factor of
+  // v_max for the candidate plus a safety margin.
+  const double slack = max_speed_ * refresh_.sec() * 2.0 + 1.0;
+  scratch_.clear();
+  grid_.query(src, cfg_.cs_range_m + slack, sender, scratch_);
+
+  const double rx2 = cfg_.rx_range_m * cfg_.rx_range_m;
+  const double cs2 = cfg_.cs_range_m * cfg_.cs_range_m;
+  for (const std::uint32_t id : scratch_) {
+    const Vec2 dst = mob_[id]->position_at(sim_.now());
+    grid_.update(id, dst);
+    const double d2 = distance2(src, dst);
+    if (d2 > cs2) continue;
+    const SimTime prop = cfg_.propagation(std::sqrt(d2));
+    Transceiver* rx = trx_[id];
+    const bool faded = cfg_.frame_loss_rate > 0.0 && loss_rng_.chance(cfg_.frame_loss_rate);
+    if (d2 <= rx2 && !faded) {
+      // Decodable arrival: the receiver gets its own copy of the frame.
+      auto copy = std::make_shared<Packet>(frame);
+      sim_.schedule(prop, [rx, copy, airtime] { rx->rx_start(copy.get(), airtime); });
+    } else {
+      // Carrier/interference only.
+      sim_.schedule(prop, [rx, airtime] { rx->rx_start(nullptr, airtime); });
+    }
+  }
+  return airtime;
+}
+
+std::vector<NodeId> Channel::neighbors_of(NodeId id, double radius) {
+  const Vec2 p = position_of(id);
+  // Refresh candidates exactly, as transmit() does.
+  const double slack = max_speed_ * refresh_.sec() * 2.0 + 1.0;
+  scratch_.clear();
+  grid_.query(p, radius + slack, id, scratch_);
+  std::vector<NodeId> out;
+  const double r2 = radius * radius;
+  for (const std::uint32_t cand : scratch_) {
+    const Vec2 q = mob_[cand]->position_at(sim_.now());
+    grid_.update(cand, q);
+    if (distance2(p, q) <= r2) out.push_back(cand);
+  }
+  return out;
+}
+
+}  // namespace manet

@@ -1,0 +1,47 @@
+// Radio parameters.
+//
+// Defaults model the 914 MHz / 2 Mbit/s Lucent WaveLAN radio the ns-2 CMU
+// wireless extensions shipped with — the radio of the whole 1998–2001
+// comparison literature: 250 m nominal (two-ray ground) communication range
+// and a 550 m carrier-sense/interference range.
+#pragma once
+
+#include <cstddef>
+
+#include "core/time.hpp"
+
+namespace manet {
+
+struct PhyConfig {
+  double data_rate_bps = 2e6;    ///< payload bit rate
+  double rx_range_m = 250.0;     ///< frames decodable within this distance
+  double cs_range_m = 550.0;     ///< energy detectable (interferes) within this
+  SimTime preamble = microseconds(192);  ///< PLCP preamble+header at 1 Mbit/s
+  double propagation_mps = 3e8;  ///< speed of light
+
+  /// Independent per-frame loss probability at each receiver — a stand-in
+  /// for fading/shadowing on top of the unit-disk model (0 = ideal channel).
+  /// Lost frames still carry energy (they interfere and trip carrier sense).
+  double frame_loss_rate = 0.0;
+
+  // Energy model (ns-2 WaveLAN-style defaults, joules = watts x seconds).
+  double tx_power_w = 1.4;  ///< transmit power draw
+  double rx_power_w = 1.0;  ///< receive power draw
+
+  /// Time on air for a frame of `bytes`.
+  [[nodiscard]] SimTime airtime(std::size_t bytes) const {
+    const double tx_s = static_cast<double>(bytes) * 8.0 / data_rate_bps;
+    return preamble + seconds_f(tx_s);
+  }
+
+  /// One-way propagation delay over `meters`.
+  [[nodiscard]] SimTime propagation(double meters) const {
+    return seconds_f(meters / propagation_mps);
+  }
+
+  /// Upper bound on propagation delay within carrier-sense range; used for
+  /// MAC timeout sizing.
+  [[nodiscard]] SimTime max_propagation() const { return propagation(cs_range_m); }
+};
+
+}  // namespace manet

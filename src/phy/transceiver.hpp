@@ -1,0 +1,98 @@
+// Per-node radio transceiver.
+//
+// Models a half-duplex radio with carrier sensing and receiver-side collision
+// behaviour:
+//   * the medium is "busy" whenever the node is transmitting or any energy
+//     from transmissions within carrier-sense range is arriving;
+//   * two receptions overlapping in time at a receiver corrupt each other
+//     (no capture effect — a deliberately pessimistic simplification noted in
+//     DESIGN.md);
+//   * transmitting while a frame is arriving corrupts that frame
+//     (half-duplex).
+// The MAC observes the medium through busy()/idle edges and receives only
+// frames that survived uncorrupted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "packet/packet.hpp"
+#include "phy/phy_config.hpp"
+#include "stats/stats.hpp"
+
+namespace manet {
+
+class Channel;
+
+/// Callbacks the MAC registers with its transceiver.
+class PhyListener {
+ public:
+  virtual ~PhyListener() = default;
+  /// The medium transitioned idle -> busy.
+  virtual void phy_busy_start() = 0;
+  /// The medium transitioned busy -> idle.
+  virtual void phy_busy_end() = 0;
+  /// A frame arrived intact.
+  virtual void phy_rx(const Packet& frame) = 0;
+};
+
+class Transceiver {
+ public:
+  Transceiver(Simulator& sim, const PhyConfig& cfg, NodeId id);
+
+  void attach_channel(Channel* ch) { channel_ = ch; }
+  void set_listener(PhyListener* l) { listener_ = l; }
+  /// Optional energy/collision accounting sink.
+  void set_stats(StatsCollector* s) { stats_ = s; }
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const PhyConfig& config() const { return cfg_; }
+
+  /// True while transmitting or while any in-range energy is arriving.
+  [[nodiscard]] bool medium_busy() const { return transmitting_ || rx_energy_ > 0; }
+  [[nodiscard]] bool transmitting() const { return transmitting_; }
+
+  /// Start transmitting `frame`; the caller (MAC) guarantees its own access
+  /// rules. Returns the time on air.
+  SimTime transmit(const Packet& frame);
+
+  // -- called by the Channel --------------------------------------------------
+  /// Energy (and possibly a decodable frame) starts arriving for `airtime`.
+  /// `frame` is null for carrier-only arrivals (transmitter beyond rx range
+  /// but within carrier-sense range).
+  void rx_start(const Packet* frame, SimTime airtime);
+
+  // -- introspection for tests -----------------------------------------------
+  [[nodiscard]] std::uint64_t frames_received() const { return frames_rx_; }
+  [[nodiscard]] std::uint64_t frames_corrupted() const { return frames_corrupt_; }
+
+ private:
+  struct ActiveRx {
+    std::uint64_t key;
+    SimTime end;
+    SimTime airtime;
+    Packet frame;     // decodable content (unused when carrier_only)
+    bool carrier_only;
+    bool corrupted;
+  };
+
+  void rx_end(std::uint64_t key);
+  void tx_end();
+  void update_busy_edges(bool was_busy);
+
+  Simulator& sim_;
+  PhyConfig cfg_;
+  NodeId id_;
+  Channel* channel_ = nullptr;
+  PhyListener* listener_ = nullptr;
+  StatsCollector* stats_ = nullptr;
+
+  bool transmitting_ = false;
+  int rx_energy_ = 0;
+  std::vector<ActiveRx> active_;
+  std::uint64_t next_key_ = 0;
+  std::uint64_t frames_rx_ = 0;
+  std::uint64_t frames_corrupt_ = 0;
+};
+
+}  // namespace manet

@@ -1,0 +1,130 @@
+// Ad hoc On-demand Distance Vector routing (RFC 3561).
+//
+// The reactive distance-vector protocol of the comparison. Routes are built
+// on demand by flooding a Route Request (RREQ) and unicasting a Route Reply
+// (RREP) back along the reverse path; loop freedom comes from per-destination
+// sequence numbers. Implemented here:
+//   * expanding-ring search (TTL_START/INCREMENT/THRESHOLD) with binary
+//     exponential RREQ retry backoff — togglable for the ablation bench;
+//   * intermediate-node RREPs when a fresh-enough route is cached
+//     (suppressed by the destination-only flag);
+//   * precursor lists and Route Error (RERR) propagation on link failure,
+//     with link breaks detected via 802.11 link-layer feedback (the CMU
+//     ns-2 configuration this paper family used) — periodic HELLOs are
+//     available behind a config flag but default off;
+//   * a 64-packet / 30 s send buffer during discovery.
+// Omitted (noted in DESIGN.md): gratuitous RREPs, local repair, multicast.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/node.hpp"
+#include "routing/aodv/aodv_messages.hpp"
+#include "routing/common.hpp"
+
+namespace manet::aodv {
+
+struct Config {
+  SimTime active_route_timeout = seconds(10);  // with LL feedback (ns-2 value)
+  SimTime my_route_timeout = seconds(20);      // 2 * active_route_timeout
+  SimTime node_traversal_time = milliseconds(40);
+  std::uint8_t net_diameter = 35;
+  int rreq_retries = 2;
+  SimTime rreq_id_lifetime = seconds(6);  // PATH_DISCOVERY_TIME
+  SimTime delete_period = seconds(15);
+  // Expanding-ring search (RFC defaults); disabled -> every RREQ is
+  // network-wide (ablation bench abl_aodv_ers).
+  bool expanding_ring = true;
+  std::uint8_t ttl_start = 1;
+  std::uint8_t ttl_increment = 2;
+  std::uint8_t ttl_threshold = 7;
+  /// Allow intermediate nodes with fresh routes to answer RREQs.
+  bool intermediate_reply = true;
+  /// RFC 3561 §6.12 local repair: an intermediate node that loses the link
+  /// for a data packet buffers it and runs its own scoped discovery for the
+  /// destination instead of discarding. The RERR is still sent immediately
+  /// (without the 'N' flag subtlety), so upstream reacts either way.
+  bool local_repair = false;
+  /// Periodic HELLO beacons (off: rely on link-layer feedback only).
+  bool use_hello = false;
+  SimTime hello_interval = seconds(1);
+  int allowed_hello_loss = 2;
+};
+
+class Aodv final : public RoutingProtocol {
+ public:
+  Aodv(Node& node, const Config& cfg, RngStream rng);
+
+  void start() override;
+  void route_packet(Packet pkt) override;
+  void on_control(const Packet& pkt, NodeId from) override;
+  void on_link_failure(const Packet& pkt, NodeId next_hop) override;
+  [[nodiscard]] const char* name() const override { return "AODV"; }
+
+  // -- introspection (tests) ---------------------------------------------------
+  struct RouteInfo {
+    NodeId next_hop;
+    std::uint8_t hops;
+    bool valid;
+  };
+  [[nodiscard]] std::optional<RouteInfo> route_to(NodeId dst) const;
+  [[nodiscard]] std::size_t buffered_packets() { return buffer_.size(); }
+
+ private:
+  struct Route {
+    std::uint32_t dest_seq = 0;
+    bool valid_seq = false;
+    std::uint8_t hops = 0;
+    NodeId next_hop = 0;
+    SimTime expires = SimTime::zero();
+    bool valid = false;
+    std::unordered_set<NodeId> precursors;
+  };
+
+  struct Discovery {
+    int retries = 0;
+    std::uint8_t ttl = 0;
+    EventId timer = kInvalidEventId;
+  };
+
+  // -- control handling ---------------------------------------------------------
+  void handle_rreq(const Packet& pkt, const Rreq& rreq, NodeId from);
+  void handle_rrep(const Packet& pkt, const Rrep& rrep, NodeId from);
+  void handle_rerr(const Rerr& rerr, NodeId from);
+  void handle_hello(const Hello& hello, NodeId from);
+
+  // -- machinery ------------------------------------------------------------
+  void send_rreq(NodeId dst);
+  void rreq_timeout(NodeId dst);
+  void send_rrep_as_dest(const Rreq& rreq, NodeId back);
+  void send_rrep_as_intermediate(const Rreq& rreq, const Route& rt, NodeId back);
+  void broadcast_control(Packet pkt, std::uint8_t ttl);
+  void unicast_control(Packet pkt, NodeId next_hop);
+  /// Create or refresh the 1-hop route to a neighbour we heard from.
+  void touch_neighbor(NodeId nbr);
+  /// Update the route to `dst` if the offered one is fresher/shorter.
+  bool update_route(NodeId dst, std::uint32_t seq, bool valid_seq, std::uint8_t hops,
+                    NodeId next_hop, SimTime lifetime);
+  void invalidate_routes_via(NodeId next_hop, Rerr& out);
+  void flush_buffer(NodeId dst);
+  void periodic_purge();
+  void send_hello();
+  [[nodiscard]] SimTime ring_traversal_time(std::uint8_t ttl) const;
+
+  Config cfg_;
+  RngStream rng_;
+  PacketBuffer buffer_;
+
+  std::uint32_t seq_ = 0;       // own sequence number
+  std::uint32_t rreq_id_ = 0;   // own RREQ id counter
+  std::unordered_map<NodeId, Route> routes_;
+  std::unordered_map<NodeId, Discovery> discovering_;
+  /// Seen RREQ (origin, id) pairs with expiry, for duplicate suppression.
+  std::unordered_map<std::uint64_t, SimTime> rreq_seen_;
+  /// Last HELLO heard per neighbour (only when use_hello).
+  std::unordered_map<NodeId, SimTime> hello_heard_;
+};
+
+}  // namespace manet::aodv

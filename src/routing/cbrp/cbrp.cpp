@@ -1,0 +1,460 @@
+#include "routing/cbrp/cbrp.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace manet::cbrp {
+
+namespace {
+[[nodiscard]] std::uint64_t rreq_key(NodeId origin, std::uint16_t id) {
+  return (static_cast<std::uint64_t>(origin) << 16) | id;
+}
+constexpr SimTime kRreqSeenLifetime = seconds(30);
+}  // namespace
+
+Cbrp::Cbrp(Node& node, const Config& cfg, RngStream rng)
+    : RoutingProtocol(node), cfg_(cfg), rng_(rng), buffer_(node.sim(), [&node](const Packet& p, DropReason r) { node.drop(p, r); }) {}
+
+void Cbrp::start() {
+  node_.sim().schedule(microseconds(rng_.uniform_int(0, cfg_.hello_interval.ns() / 1000)),
+                       [this] { send_hello(); });
+}
+
+// ---------------------------------------------------------------------------
+// Neighbourhood & clustering
+// ---------------------------------------------------------------------------
+
+std::vector<NeighborSummary> Cbrp::neighbor_summaries() const {
+  const SimTime now = node_.sim().now();
+  std::vector<NeighborSummary> out;
+  for (const auto& [id, nb] : neighbors_) {
+    if (nb.expires > now) out.push_back(NeighborSummary{id, nb.role, nb.head});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NeighborSummary& a, const NeighborSummary& b) { return a.id < b.id; });
+  return out;
+}
+
+bool Cbrp::is_bidirectional_neighbor(NodeId id) const {
+  const auto it = neighbors_.find(id);
+  return it != neighbors_.end() && it->second.expires > node_.sim().now() &&
+         it->second.lists_us;
+}
+
+std::vector<NodeId> Cbrp::neighbor_ids() const {
+  std::vector<NodeId> out;
+  for (const auto& n : neighbor_summaries()) out.push_back(n.id);
+  return out;
+}
+
+void Cbrp::update_role() {
+  const auto nbrs = neighbor_summaries();
+  if (role_ == Role::kHead) {
+    if (head_contested(node_.id(), nbrs)) {
+      if (++contested_rounds_ >= cfg_.contention_rounds) {
+        role_ = Role::kMember;
+        head_ = pick_head(nbrs);
+        contested_rounds_ = 0;
+      }
+    } else {
+      contested_rounds_ = 0;
+    }
+  } else {
+    Role decided = decide_role(node_.id(), nbrs);
+    // Listen before electing: self-election is only allowed once we have
+    // had a chance to hear our neighbourhood. Joining an existing head is
+    // always allowed.
+    if (decided == Role::kHead && hello_rounds_ < cfg_.listen_rounds) {
+      decided = Role::kUndecided;
+    }
+    role_ = decided;
+    head_ = (role_ == Role::kHead) ? node_.id()
+            : (role_ == Role::kMember) ? pick_head(nbrs)
+                                       : kBroadcast;
+  }
+  gateway_ = role_ == Role::kMember && is_gateway(head_, nbrs);
+}
+
+void Cbrp::send_hello() {
+  // Expire stale neighbours first, then re-evaluate the cluster structure.
+  const SimTime now = node_.sim().now();
+  std::erase_if(neighbors_, [now](const auto& kv) { return kv.second.expires <= now; });
+  update_role();
+  ++hello_rounds_;
+
+  auto hello = std::make_unique<Hello>();
+  hello->role = role_;
+  hello->head = head_;
+  hello->neighbors = neighbor_summaries();
+  Packet pkt;
+  pkt.kind = PacketKind::kRoutingControl;
+  pkt.ip.src = node_.id();
+  pkt.ip.dst = kBroadcast;
+  pkt.ip.ttl = 1;
+  pkt.ip.proto = IpProto::kRouting;
+  pkt.routing = std::move(hello);
+  node_.send_broadcast(std::move(pkt));
+
+  const std::int64_t q = cfg_.hello_interval.ns() / 4;
+  node_.sim().schedule(cfg_.hello_interval + nanoseconds(rng_.uniform_int(-q, q)),
+                       [this] { send_hello(); });
+}
+
+void Cbrp::handle_hello(const Hello& hello, NodeId from) {
+  Neighbor& nb = neighbors_[from];
+  nb.role = hello.role;
+  nb.head = hello.head;
+  nb.expires = node_.sim().now() + cfg_.neighb_hold;
+  nb.their_neighbors = hello.neighbors;
+  nb.lists_us = std::any_of(
+      hello.neighbors.begin(), hello.neighbors.end(),
+      [me = node_.id()](const NeighborSummary& s) { return s.id == me; });
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+
+void Cbrp::route_packet(Packet pkt) {
+  if (pkt.routing != nullptr) {
+    forward_with_route(std::move(pkt));
+    return;
+  }
+  originate(std::move(pkt));
+}
+
+void Cbrp::originate(Packet pkt) {
+  const NodeId dst = pkt.ip.dst;
+  // Direct neighbour: no discovery needed (two-hop clusters make this common).
+  if (is_bidirectional_neighbor(dst)) {
+    auto sr = std::make_unique<SourceRoute>();
+    sr->path = {node_.id(), dst};
+    sr->next_index = 1;
+    pkt.routing = std::move(sr);
+    node_.send_with_next_hop(std::move(pkt), dst);
+    return;
+  }
+  const auto it = route_table_.find(dst);
+  if (it != route_table_.end() && it->second.expires > node_.sim().now()) {
+    auto sr = std::make_unique<SourceRoute>();
+    sr->path = it->second.path;
+    sr->next_index = 1;
+    const NodeId next = sr->path[1];
+    pkt.routing = std::move(sr);
+    node_.send_with_next_hop(std::move(pkt), next);
+    return;
+  }
+  buffer_.push(std::move(pkt), dst);
+  if (!discovering_.contains(dst)) {
+    Discovery d;
+    d.req_id = next_req_id_++;
+    discovering_.emplace(dst, d);
+    send_rreq(dst);
+  }
+}
+
+void Cbrp::forward_with_route(Packet pkt) {
+  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.get());
+  if (sr == nullptr || sr->next_index >= sr->path.size() ||
+      sr->path[sr->next_index] != node_.id() || sr->next_index + 1 >= sr->path.size()) {
+    node_.drop(pkt, DropReason::kProtocol);
+    return;
+  }
+  std::size_t next = sr->next_index + 1;
+  if (cfg_.route_shortening) {
+    // Skip ahead to the furthest listed node we can reach directly.
+    for (std::size_t j = sr->path.size() - 1; j > next; --j) {
+      if (is_bidirectional_neighbor(sr->path[j])) {
+        next = j;
+        break;
+      }
+    }
+  }
+  sr->next_index = next;
+  const NodeId hop = sr->path[next];
+  node_.send_with_next_hop(std::move(pkt), hop);
+}
+
+// ---------------------------------------------------------------------------
+// Route discovery
+// ---------------------------------------------------------------------------
+
+void Cbrp::send_rreq(NodeId target) {
+  auto& d = discovering_.at(target);
+  auto rreq = std::make_unique<Rreq>();
+  rreq->origin = node_.id();
+  rreq->target = target;
+  rreq->req_id = d.req_id;
+  rreq->record = {node_.id()};
+  rreq_seen_[rreq_key(node_.id(), d.req_id)] = node_.sim().now() + kRreqSeenLifetime;
+
+  Packet pkt;
+  pkt.kind = PacketKind::kRoutingControl;
+  pkt.ip.src = node_.id();
+  pkt.ip.dst = kBroadcast;
+  pkt.ip.ttl = kInitialTtl;
+  pkt.ip.proto = IpProto::kRouting;
+  pkt.routing = std::move(rreq);
+  node_.send_broadcast(std::move(pkt));
+
+  SimTime timeout = cfg_.first_timeout;
+  for (int i = 0; i < d.retries && timeout < cfg_.max_timeout; ++i) timeout = 2 * timeout;
+  timeout = std::min(timeout, cfg_.max_timeout);
+  d.timer = node_.sim().schedule(timeout, [this, target] { rreq_timeout(target); });
+}
+
+void Cbrp::rreq_timeout(NodeId target) {
+  auto it = discovering_.find(target);
+  if (it == discovering_.end()) return;
+  Discovery& d = it->second;
+  ++d.retries;
+  if (d.retries > cfg_.max_retries) {
+    discovering_.erase(it);
+    buffer_.drop_all(target, DropReason::kNoRoute);
+    return;
+  }
+  d.req_id = next_req_id_++;
+  send_rreq(target);
+}
+
+void Cbrp::handle_rreq(const Packet& pkt, const Rreq& rreq, NodeId /*from*/) {
+  if (rreq.origin == node_.id()) return;
+  const std::uint64_t key = rreq_key(rreq.origin, rreq.req_id);
+  if (auto it = rreq_seen_.find(key); it != rreq_seen_.end() && it->second > node_.sim().now()) {
+    return;
+  }
+  rreq_seen_[key] = node_.sim().now() + kRreqSeenLifetime;
+  if (std::find(rreq.record.begin(), rreq.record.end(), node_.id()) != rreq.record.end()) {
+    return;
+  }
+
+  if (rreq.target == node_.id()) {
+    Path full = rreq.record;
+    full.push_back(node_.id());
+    send_rrep(std::move(full));
+    return;
+  }
+
+  // CBRP's flooding optimization: only clusterheads and gateways relay.
+  if (role_ != Role::kHead && !gateway_) return;
+  if (pkt.ip.ttl <= 1) return;
+  Packet fwd = pkt;
+  --fwd.ip.ttl;
+  auto body = std::make_unique<Rreq>(rreq);
+  body->record.push_back(node_.id());
+  fwd.routing = std::move(body);
+  node_.sim().schedule(broadcast_jitter(rng_), [this, fwd = std::move(fwd)]() mutable {
+    node_.send_broadcast(std::move(fwd));
+  });
+}
+
+void Cbrp::send_rrep(Path path) {
+  MANET_EXPECTS(path.size() >= 2);
+  const auto self_it = std::find(path.begin(), path.end(), node_.id());
+  MANET_ASSERT(self_it != path.end());
+  const auto my_index = static_cast<std::size_t>(self_it - path.begin());
+  MANET_ASSERT(my_index >= 1);
+
+  auto rrep = std::make_unique<Rrep>();
+  rrep->path = std::move(path);
+  rrep->back_index = my_index - 1;
+  const NodeId next = rrep->path[my_index - 1];
+  Packet pkt;
+  pkt.kind = PacketKind::kRoutingControl;
+  pkt.ip.src = node_.id();
+  pkt.ip.dst = rrep->path.front();
+  pkt.routing = std::move(rrep);
+  unicast_control(std::move(pkt), next, kBroadcast);
+}
+
+void Cbrp::handle_rrep(const Rrep& rrep) {
+  if (rrep.back_index == 0 || rrep.path[rrep.back_index] != node_.id()) {
+    if (rrep.path.front() == node_.id()) {
+      const NodeId target = rrep.path.back();
+      route_table_[target] =
+          CachedRoute{rrep.path, node_.sim().now() + cfg_.route_lifetime};
+      if (auto it = discovering_.find(target); it != discovering_.end()) {
+        node_.sim().cancel(it->second.timer);
+        discovering_.erase(it);
+      }
+      flush_buffer(target);
+    }
+    return;
+  }
+  auto body = std::make_unique<Rrep>(rrep);
+  --body->back_index;
+  const NodeId next = body->path[body->back_index];
+  Packet pkt;
+  pkt.kind = PacketKind::kRoutingControl;
+  pkt.ip.src = node_.id();
+  pkt.ip.dst = body->path.front();
+  pkt.routing = std::move(body);
+  unicast_control(std::move(pkt), next, kBroadcast);
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance: local repair, route errors
+// ---------------------------------------------------------------------------
+
+std::optional<NodeId> Cbrp::neighbor_reaching(NodeId target, NodeId exclude) const {
+  const SimTime now = node_.sim().now();
+  std::optional<NodeId> best;
+  for (const auto& [id, nb] : neighbors_) {
+    if (id == exclude || nb.expires <= now || !nb.lists_us) continue;
+    const bool reaches = std::any_of(
+        nb.their_neighbors.begin(), nb.their_neighbors.end(),
+        [target](const NeighborSummary& s) { return s.id == target; });
+    if (reaches && (!best || id < *best)) best = id;
+  }
+  return best;
+}
+
+bool Cbrp::try_local_repair(Packet& pkt, NodeId broken_to) {
+  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.get());
+  if (sr == nullptr || sr->repair_count >= cfg_.max_repairs) return false;
+  // We are path[i]; the link to path[i+1] == broken_to broke. Patch through a
+  // neighbour that reaches the broken node (or the node after it, skipping
+  // the unreachable hop entirely when possible).
+  const std::size_t i = sr->next_index - 1;
+  if (sr->next_index >= sr->path.size() || sr->path[sr->next_index] != broken_to ||
+      i >= sr->path.size() || sr->path[i] != node_.id()) {
+    return false;
+  }
+  NodeId rejoin = broken_to;
+  std::optional<NodeId> helper;
+  if (sr->next_index + 1 < sr->path.size()) {
+    rejoin = sr->path[sr->next_index + 1];
+    helper = neighbor_reaching(rejoin, broken_to);
+    if (helper) {
+      // Splice: ... me, helper, rejoin, ... (drop broken_to).
+      Path patched(sr->path.begin(), sr->path.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      patched.push_back(*helper);
+      patched.insert(patched.end(),
+                     sr->path.begin() + static_cast<std::ptrdiff_t>(sr->next_index) + 1,
+                     sr->path.end());
+      sr->path = std::move(patched);
+      sr->next_index = i + 1;
+      ++sr->repair_count;
+      return true;
+    }
+  }
+  helper = neighbor_reaching(broken_to, broken_to);
+  if (!helper) return false;
+  Path patched(sr->path.begin(), sr->path.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+  patched.push_back(*helper);
+  patched.insert(patched.end(), sr->path.begin() + static_cast<std::ptrdiff_t>(sr->next_index),
+                 sr->path.end());
+  sr->path = std::move(patched);
+  sr->next_index = i + 1;
+  ++sr->repair_count;
+  return true;
+}
+
+void Cbrp::on_link_failure(const Packet& pkt, NodeId next_hop) {
+  // Fast neighbour-loss detection: stop believing in the link immediately.
+  neighbors_.erase(next_hop);
+
+  if (pkt.kind == PacketKind::kRoutingControl) return;
+  const auto* sr = dynamic_cast<const SourceRoute*>(pkt.routing.get());
+  if (sr == nullptr) {
+    node_.drop(pkt, DropReason::kMacRetryLimit);
+    return;
+  }
+
+  if (pkt.ip.src == node_.id()) {
+    route_table_.erase(pkt.ip.dst);
+    Packet retry = pkt;
+    retry.routing = nullptr;
+    originate(std::move(retry));
+    return;
+  }
+
+  if (cfg_.local_repair) {
+    Packet patched = pkt;
+    if (try_local_repair(patched, next_hop)) {
+      auto* psr = dynamic_cast<SourceRoute*>(patched.routing.get());
+      const NodeId hop = psr->path[psr->next_index];
+      node_.send_with_next_hop(std::move(patched), hop);
+      return;
+    }
+  }
+
+  if (sr->next_index >= 1) {
+    const std::size_t my_index = sr->next_index - 1;
+    if (my_index < sr->path.size() && sr->path[my_index] == node_.id() && my_index >= 1) {
+      send_rerr(sr->path, my_index, next_hop);
+    }
+  }
+  node_.drop(pkt, DropReason::kMacRetryLimit);
+}
+
+void Cbrp::send_rerr(const Path& data_path, std::size_t my_index, NodeId broken_to) {
+  auto rerr = std::make_unique<Rerr>();
+  rerr->broken_from = node_.id();
+  rerr->broken_to = broken_to;
+  rerr->back_path =
+      Path(data_path.begin(), data_path.begin() + static_cast<std::ptrdiff_t>(my_index) + 1);
+  rerr->back_index = my_index;
+  if (rerr->back_path.size() < 2) return;
+  --rerr->back_index;
+  const NodeId next = rerr->back_path[rerr->back_index];
+  Packet pkt;
+  pkt.kind = PacketKind::kRoutingControl;
+  pkt.ip.src = node_.id();
+  pkt.ip.dst = rerr->back_path.front();
+  pkt.routing = std::move(rerr);
+  unicast_control(std::move(pkt), next, kBroadcast);
+}
+
+void Cbrp::handle_rerr(const Rerr& rerr) {
+  if (rerr.back_index == 0 || rerr.back_path[rerr.back_index] != node_.id()) {
+    if (rerr.back_path.front() == node_.id()) {
+      // Invalidate every cached route using the broken link.
+      std::erase_if(route_table_, [&](const auto& kv) {
+        const Path& p = kv.second.path;
+        for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+          if (p[i] == rerr.broken_from && p[i + 1] == rerr.broken_to) return true;
+        }
+        return false;
+      });
+    }
+    return;
+  }
+  auto body = std::make_unique<Rerr>(rerr);
+  --body->back_index;
+  const NodeId next = body->back_path[body->back_index];
+  Packet pkt;
+  pkt.kind = PacketKind::kRoutingControl;
+  pkt.ip.src = node_.id();
+  pkt.ip.dst = body->back_path.front();
+  pkt.routing = std::move(body);
+  unicast_control(std::move(pkt), next, kBroadcast);
+}
+
+// ---------------------------------------------------------------------------
+
+void Cbrp::on_control(const Packet& pkt, NodeId from) {
+  MANET_ASSERT(pkt.routing != nullptr);
+  if (const auto* hello = dynamic_cast<const Hello*>(pkt.routing.get())) {
+    handle_hello(*hello, from);
+  } else if (const auto* rreq = dynamic_cast<const Rreq*>(pkt.routing.get())) {
+    handle_rreq(pkt, *rreq, from);
+  } else if (const auto* rrep = dynamic_cast<const Rrep*>(pkt.routing.get())) {
+    handle_rrep(*rrep);
+  } else if (const auto* rerr = dynamic_cast<const Rerr*>(pkt.routing.get())) {
+    handle_rerr(*rerr);
+  }
+}
+
+void Cbrp::unicast_control(Packet pkt, NodeId next_hop, NodeId /*final_dst*/) {
+  pkt.ip.ttl = kInitialTtl;
+  pkt.ip.proto = IpProto::kRouting;
+  node_.send_with_next_hop(std::move(pkt), next_hop);
+}
+
+void Cbrp::flush_buffer(NodeId dst) {
+  for (Packet& pkt : buffer_.take(dst)) route_packet(std::move(pkt));
+}
+
+}  // namespace manet::cbrp

@@ -1,0 +1,120 @@
+// Cluster Based Routing Protocol (Jiang, Li & Tay,
+// draft-ietf-manet-cbrp-spec) — the third protocol of Boukerche's IPPS 2001
+// comparison.
+//
+// CBRP organizes the network into lowest-id clusters and restricts route-
+// discovery flooding to clusterheads and gateways (the nodes bridging
+// adjacent clusters), trading periodic HELLO overhead for far cheaper
+// discovery than a blind flood. Implemented:
+//   * periodic HELLOs carrying the full neighbour table (giving every node
+//     2-hop knowledge) and cluster affiliation;
+//   * lowest-id cluster formation with contention grace (a higher-id head
+//     steps down after persistently hearing a lower-id head);
+//   * gateway detection from neighbour affiliations;
+//   * route discovery in which only heads and gateways rebroadcast RREQs,
+//     accumulating the actual forwarder path; replies unicast back along it;
+//   * source-routed data forwarding with route shortening (skip ahead to
+//     the furthest listed node that is a direct neighbour);
+//   * local repair on link failure using 2-hop neighbour knowledge, falling
+//     back to a route error to the source;
+//   * a per-source route table built from replies, plus a send buffer.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/node.hpp"
+#include "routing/cbrp/cbrp_messages.hpp"
+#include "routing/common.hpp"
+
+namespace manet::cbrp {
+
+struct Config {
+  SimTime hello_interval = seconds(2);
+  SimTime neighb_hold = seconds(6);
+  /// Consecutive contested HELLO rounds before a head steps down.
+  int contention_rounds = 3;
+  /// HELLO rounds spent listening (remaining UNDECIDED) before a node may
+  /// elect itself head — without this, every node's first hello fires with
+  /// an empty neighbour table and the whole network self-elects at once.
+  int listen_rounds = 2;
+  SimTime first_timeout = milliseconds(500);  // doubles per retry
+  SimTime max_timeout = seconds(10);
+  int max_retries = 6;
+  SimTime route_lifetime = seconds(60);
+  bool route_shortening = true;
+  bool local_repair = true;
+  int max_repairs = 2;
+};
+
+class Cbrp final : public RoutingProtocol {
+ public:
+  Cbrp(Node& node, const Config& cfg, RngStream rng);
+
+  void start() override;
+  void route_packet(Packet pkt) override;
+  void on_control(const Packet& pkt, NodeId from) override;
+  void on_link_failure(const Packet& pkt, NodeId next_hop) override;
+  [[nodiscard]] const char* name() const override { return "CBRP"; }
+
+  // -- introspection (tests) -------------------------------------------------
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] NodeId head() const { return head_; }
+  [[nodiscard]] bool gateway() const { return gateway_; }
+  [[nodiscard]] std::vector<NodeId> neighbor_ids() const;
+
+ private:
+  struct Neighbor {
+    Role role = Role::kUndecided;
+    NodeId head = kBroadcast;
+    bool lists_us = false;  ///< bidirectional confirmation
+    SimTime expires = SimTime::zero();
+    std::vector<NeighborSummary> their_neighbors;
+  };
+  struct Discovery {
+    std::uint16_t req_id = 0;
+    int retries = 0;
+    EventId timer = kInvalidEventId;
+  };
+  struct CachedRoute {
+    Path path;
+    SimTime expires = SimTime::zero();
+  };
+
+  void send_hello();
+  void update_role();
+  void handle_hello(const Hello& hello, NodeId from);
+  void handle_rreq(const Packet& pkt, const Rreq& rreq, NodeId from);
+  void handle_rrep(const Rrep& rrep);
+  void handle_rerr(const Rerr& rerr);
+  void originate(Packet pkt);
+  void forward_with_route(Packet pkt);
+  void send_rreq(NodeId target);
+  void rreq_timeout(NodeId target);
+  void send_rrep(Path path);
+  void send_rerr(const Path& data_path, std::size_t my_index, NodeId broken_to);
+  bool try_local_repair(Packet& pkt, NodeId broken_to);
+  void flush_buffer(NodeId dst);
+  [[nodiscard]] std::vector<NeighborSummary> neighbor_summaries() const;
+  [[nodiscard]] bool is_bidirectional_neighbor(NodeId id) const;
+  /// A live neighbour whose own neighbour table contains `target`.
+  [[nodiscard]] std::optional<NodeId> neighbor_reaching(NodeId target, NodeId exclude) const;
+  void unicast_control(Packet pkt, NodeId next_hop, NodeId final_dst);
+
+  Config cfg_;
+  RngStream rng_;
+  PacketBuffer buffer_;
+
+  Role role_ = Role::kUndecided;
+  NodeId head_ = kBroadcast;
+  bool gateway_ = false;
+  int contested_rounds_ = 0;
+  int hello_rounds_ = 0;
+
+  std::unordered_map<NodeId, Neighbor> neighbors_;
+  std::unordered_map<NodeId, CachedRoute> route_table_;
+  std::unordered_map<NodeId, Discovery> discovering_;
+  std::uint16_t next_req_id_ = 1;
+  std::unordered_map<std::uint64_t, SimTime> rreq_seen_;
+};
+
+}  // namespace manet::cbrp

@@ -1,0 +1,41 @@
+#include "routing/cbrp/cluster.hpp"
+
+#include <algorithm>
+
+namespace manet::cbrp {
+
+Role decide_role(NodeId self, const std::vector<NeighborSummary>& nbrs) {
+  bool head_nearby = false;
+  bool lowest_undecided = true;
+  for (const NeighborSummary& n : nbrs) {
+    if (n.role == Role::kHead) head_nearby = true;
+    if (n.role == Role::kUndecided && n.id < self) lowest_undecided = false;
+  }
+  if (head_nearby) return Role::kMember;
+  if (lowest_undecided) return Role::kHead;
+  return Role::kUndecided;
+}
+
+bool head_contested(NodeId self, const std::vector<NeighborSummary>& nbrs) {
+  return std::any_of(nbrs.begin(), nbrs.end(), [self](const NeighborSummary& n) {
+    return n.role == Role::kHead && n.id < self;
+  });
+}
+
+NodeId pick_head(const std::vector<NeighborSummary>& nbrs) {
+  NodeId best = kBroadcast;
+  for (const NeighborSummary& n : nbrs) {
+    if (n.role == Role::kHead && n.id < best) best = n.id;
+  }
+  return best;
+}
+
+bool is_gateway(NodeId my_head, const std::vector<NeighborSummary>& nbrs) {
+  for (const NeighborSummary& n : nbrs) {
+    if (n.role == Role::kHead && n.id != my_head) return true;
+    if (n.role == Role::kMember && n.head != my_head && n.head != kBroadcast) return true;
+  }
+  return false;
+}
+
+}  // namespace manet::cbrp

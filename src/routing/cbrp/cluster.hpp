@@ -1,0 +1,46 @@
+// CBRP cluster formation logic (draft-ietf-manet-cbrp-spec).
+//
+// Pure decision functions, separated from the protocol so clustering
+// invariants can be property-tested over random neighbourhoods:
+//   * lowest-id election: an undecided node whose id is the smallest among
+//     its undecided neighbours becomes a clusterhead; a node hearing a
+//     clusterhead joins it as a member;
+//   * head contention: when two heads come into range, the higher-id one
+//     eventually steps down (the protocol counts consecutive contested
+//     observations before acting, giving transient contacts a grace period);
+//   * gateway determination: a member that can reach more than one cluster
+//     (it hears two heads, or hears a member affiliated to a foreign head).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace manet::cbrp {
+
+enum class Role : std::uint8_t { kUndecided, kMember, kHead };
+
+struct NeighborSummary {
+  NodeId id = 0;
+  Role role = Role::kUndecided;
+  NodeId head = kBroadcast;  ///< affiliation (kBroadcast = none)
+};
+
+/// Role a (non-head) node should take given its neighbourhood.
+/// Returns kMember if any neighbour is a head, kHead if the node's id is the
+/// smallest among itself and its undecided neighbours, else kUndecided.
+[[nodiscard]] Role decide_role(NodeId self, const std::vector<NeighborSummary>& nbrs);
+
+/// True when a head should consider stepping down: a neighbouring head with
+/// a smaller id exists.
+[[nodiscard]] bool head_contested(NodeId self, const std::vector<NeighborSummary>& nbrs);
+
+/// Lowest-id head among the neighbours (or self_head if still present);
+/// kBroadcast when none.
+[[nodiscard]] NodeId pick_head(const std::vector<NeighborSummary>& nbrs);
+
+/// Gateway test for a member affiliated to `my_head`.
+[[nodiscard]] bool is_gateway(NodeId my_head, const std::vector<NeighborSummary>& nbrs);
+
+}  // namespace manet::cbrp

@@ -1,0 +1,129 @@
+// Utilities shared by the routing protocols.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/simulator.hpp"
+#include "packet/packet.hpp"
+#include "stats/stats.hpp"
+
+namespace manet {
+
+/// Random delay applied before (re)broadcasting control packets, so that
+/// neighbours receiving the same flood do not all transmit simultaneously —
+/// the standard anti-synchronization measure of every MANET implementation.
+[[nodiscard]] inline SimTime broadcast_jitter(RngStream& rng) {
+  return microseconds(rng.uniform_int(0, 10'000));
+}
+
+/// Buffer for data packets awaiting route discovery, as kept by every
+/// on-demand protocol (ns-2 defaults: 64 packets, 30 s lifetime). One global
+/// FIFO with per-destination retrieval; overflow evicts the oldest packet.
+/// Dropped packets are reported through `on_drop` (normally Node::drop, so
+/// they reach both the statistics and the event trace).
+class PacketBuffer {
+ public:
+  using DropFn = std::function<void(const Packet&, DropReason)>;
+
+  PacketBuffer(Simulator& sim, DropFn on_drop, std::size_t capacity = 64,
+               SimTime lifetime = seconds(30))
+      : sim_(sim), on_drop_(std::move(on_drop)), capacity_(capacity), lifetime_(lifetime) {}
+
+  void push(Packet pkt, NodeId dst) {
+    purge_expired();
+    if (entries_.size() >= capacity_) {
+      count_drop(entries_.front().pkt, DropReason::kBufferOverflow);
+      entries_.pop_front();
+    }
+    entries_.push_back(Entry{std::move(pkt), dst, sim_.now() + lifetime_});
+    maybe_schedule_purge();
+  }
+
+  /// Remove and return all live packets buffered for `dst`.
+  [[nodiscard]] std::vector<Packet> take(NodeId dst) {
+    purge_expired();
+    std::vector<Packet> out;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->dst == dst) {
+        out.push_back(std::move(it->pkt));
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool has(NodeId dst) {
+    purge_expired();
+    for (const auto& e : entries_) {
+      if (e.dst == dst) return true;
+    }
+    return false;
+  }
+
+  /// Drop every packet buffered for `dst`, counting `reason`.
+  void drop_all(NodeId dst, DropReason reason) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->dst == dst) {
+        count_drop(it->pkt, reason);
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() {
+    purge_expired();
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    Packet pkt;
+    NodeId dst;
+    SimTime expires;
+  };
+
+  void count_drop(const Packet& pkt, DropReason r) {
+    if (on_drop_) on_drop_(pkt, r);
+  }
+
+  void purge_expired() {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->expires <= sim_.now()) {
+        count_drop(it->pkt, DropReason::kBufferTimeout);
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Expiry is checked on every access, but an idle buffer must still age
+  // its contents out (the timeout is an observable metric), so a purge event
+  // rides along whenever the buffer is non-empty. An entry is counted at
+  // worst ~2 lifetimes after insertion; the metric only needs "eventually".
+  void maybe_schedule_purge() {
+    if (purge_pending_ || entries_.empty()) return;
+    purge_pending_ = true;
+    sim_.schedule(lifetime_ + milliseconds(1), [this] {
+      purge_pending_ = false;
+      purge_expired();
+      maybe_schedule_purge();
+    });
+  }
+
+  Simulator& sim_;
+  DropFn on_drop_;
+  std::size_t capacity_;
+  SimTime lifetime_;
+  std::deque<Entry> entries_;
+  bool purge_pending_ = false;
+};
+
+}  // namespace manet

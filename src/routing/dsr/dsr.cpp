@@ -1,0 +1,347 @@
+#include "routing/dsr/dsr.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace manet::dsr {
+
+namespace {
+[[nodiscard]] std::uint64_t rreq_key(NodeId origin, std::uint16_t id) {
+  return (static_cast<std::uint64_t>(origin) << 16) | id;
+}
+constexpr SimTime kRreqSeenLifetime = seconds(30);
+}  // namespace
+
+Dsr::Dsr(Node& node, const Config& cfg, RngStream rng)
+    : RoutingProtocol(node),
+      cfg_(cfg),
+      rng_(rng),
+      cache_(node.id(), cfg.cache_capacity, cfg.cache_lifetime),
+      buffer_(node.sim(), [&node](const Packet& p, DropReason r) { node.drop(p, r); }) {}
+
+void Dsr::start() {
+  // DSR is fully reactive: nothing to schedule up front.
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+
+void Dsr::route_packet(Packet pkt) {
+  if (pkt.routing != nullptr) {
+    forward_with_route(std::move(pkt));
+    return;
+  }
+  originate(std::move(pkt));
+}
+
+void Dsr::originate(Packet pkt) {
+  const NodeId dst = pkt.ip.dst;
+  if (auto path = cache_.find(dst, node_.sim().now())) {
+    auto sr = std::make_unique<SourceRoute>();
+    sr->path = std::move(*path);
+    sr->next_index = 1;
+    const NodeId next = sr->path[1];
+    pkt.routing = std::move(sr);
+    node_.send_with_next_hop(std::move(pkt), next);
+    return;
+  }
+  buffer_.push(std::move(pkt), dst);
+  if (!discovering_.contains(dst)) {
+    Discovery d;
+    d.req_id = next_req_id_++;
+    discovering_.emplace(dst, d);
+    send_rreq(dst, cfg_.nonprop_first_query);
+  }
+}
+
+void Dsr::forward_with_route(Packet pkt) {
+  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.get());
+  if (sr == nullptr) {
+    node_.drop(pkt, DropReason::kProtocol);
+    return;
+  }
+  // We are path[next_index]; advance and relay. A stale/corrupt route that
+  // does not list us next is discarded.
+  if (sr->next_index >= sr->path.size() || sr->path[sr->next_index] != node_.id() ||
+      sr->next_index + 1 >= sr->path.size()) {
+    node_.drop(pkt, DropReason::kProtocol);
+    return;
+  }
+  // Snoop: the remainder of the source route is a usable path for us too.
+  cache_suffix_from_self(sr->path, node_.sim().now());
+  ++sr->next_index;
+  const NodeId next = sr->path[sr->next_index];
+  node_.send_with_next_hop(std::move(pkt), next);
+}
+
+void Dsr::cache_suffix_from_self(const Path& path, SimTime now) {
+  const auto it = std::find(path.begin(), path.end(), node_.id());
+  if (it == path.end()) return;
+  Path suffix(it, path.end());
+  if (suffix.size() >= 2) cache_.add(suffix, now);
+}
+
+// ---------------------------------------------------------------------------
+// Route discovery
+// ---------------------------------------------------------------------------
+
+void Dsr::send_rreq(NodeId target, bool nonprop) {
+  auto& d = discovering_.at(target);
+  auto rreq = std::make_unique<Rreq>();
+  rreq->origin = node_.id();
+  rreq->target = target;
+  rreq->req_id = d.req_id;
+  rreq->record = {node_.id()};
+
+  rreq_seen_[rreq_key(node_.id(), d.req_id)] = node_.sim().now() + kRreqSeenLifetime;
+
+  Packet pkt;
+  pkt.kind = PacketKind::kRoutingControl;
+  pkt.ip.src = node_.id();
+  pkt.ip.dst = kBroadcast;
+  pkt.ip.ttl = nonprop ? 1 : kInitialTtl;
+  pkt.ip.proto = IpProto::kRouting;
+  pkt.routing = std::move(rreq);
+  node_.send_broadcast(std::move(pkt));
+
+  SimTime timeout;
+  if (nonprop) {
+    timeout = cfg_.nonprop_timeout;
+  } else {
+    timeout = cfg_.first_timeout;
+    for (int i = 1; i < d.retries && timeout < cfg_.max_timeout; ++i) timeout = 2 * timeout;
+    timeout = std::min(timeout, cfg_.max_timeout);
+  }
+  d.timer = node_.sim().schedule(timeout, [this, target] { rreq_timeout(target); });
+}
+
+void Dsr::rreq_timeout(NodeId target) {
+  auto it = discovering_.find(target);
+  if (it == discovering_.end()) return;
+  Discovery& d = it->second;
+  ++d.retries;
+  if (d.retries > cfg_.max_retries) {
+    discovering_.erase(it);
+    buffer_.drop_all(target, DropReason::kNoRoute);
+    return;
+  }
+  d.req_id = next_req_id_++;  // a fresh id per (re)flood
+  send_rreq(target, /*nonprop=*/false);
+}
+
+void Dsr::handle_rreq(const Packet& pkt, const Rreq& rreq, NodeId /*from*/) {
+  if (rreq.origin == node_.id()) return;
+  const std::uint64_t key = rreq_key(rreq.origin, rreq.req_id);
+  if (auto it = rreq_seen_.find(key); it != rreq_seen_.end() && it->second > node_.sim().now()) {
+    return;
+  }
+  rreq_seen_[key] = node_.sim().now() + kRreqSeenLifetime;
+  if (std::find(rreq.record.begin(), rreq.record.end(), node_.id()) != rreq.record.end()) {
+    return;  // we already forwarded this flood (route record loop)
+  }
+
+  // The accumulated record, reversed, is a route from us back to the origin
+  // (links assumed bidirectional — true for our radio model).
+  {
+    Path back(rreq.record.rbegin(), rreq.record.rend());
+    back.insert(back.begin(), node_.id());
+    cache_.add(back, node_.sim().now());
+  }
+
+  if (rreq.target == node_.id()) {
+    Path full = rreq.record;
+    full.push_back(node_.id());
+    send_rrep(std::move(full));
+    return;
+  }
+
+  if (cfg_.intermediate_reply) {
+    if (auto cached = cache_.find(rreq.target, node_.sim().now())) {
+      // Splice record + cached path; reply only if the result is loop-free
+      // (the draft's requirement to avoid advertising looping routes).
+      Path full = rreq.record;
+      full.insert(full.end(), cached->begin(), cached->end());
+      if (loop_free(full)) {
+        send_rrep(std::move(full));
+        return;
+      }
+    }
+  }
+
+  if (pkt.ip.ttl <= 1) return;
+  Packet fwd = pkt;
+  --fwd.ip.ttl;
+  auto body = std::make_unique<Rreq>(rreq);
+  body->record.push_back(node_.id());
+  fwd.routing = std::move(body);
+  node_.sim().schedule(broadcast_jitter(rng_), [this, fwd = std::move(fwd)]() mutable {
+    node_.send_broadcast(std::move(fwd));
+  });
+}
+
+void Dsr::send_rrep(Path path) {
+  MANET_EXPECTS(path.size() >= 2);
+  // We sit somewhere on `path`; the reply travels back towards path.front().
+  const auto self_it = std::find(path.begin(), path.end(), node_.id());
+  MANET_ASSERT(self_it != path.end());
+  const auto my_index = static_cast<std::size_t>(self_it - path.begin());
+  MANET_ASSERT(my_index >= 1);
+
+  auto rrep = std::make_unique<Rrep>();
+  rrep->path = std::move(path);
+  rrep->back_index = my_index - 1;
+  const NodeId next = rrep->path[my_index - 1];
+
+  Packet pkt;
+  pkt.kind = PacketKind::kRoutingControl;
+  pkt.ip.src = node_.id();
+  pkt.ip.dst = rrep->path.front();
+  pkt.ip.ttl = kInitialTtl;
+  pkt.ip.proto = IpProto::kRouting;
+  pkt.routing = std::move(rrep);
+  node_.send_with_next_hop(std::move(pkt), next);
+}
+
+void Dsr::handle_rrep(const Rrep& rrep) {
+  // Everyone on the reply path may cache their suffix towards the target.
+  cache_suffix_from_self(rrep.path, node_.sim().now());
+
+  if (rrep.back_index == 0 || rrep.path[rrep.back_index] != node_.id()) {
+    if (rrep.path.front() == node_.id()) {
+      // Discovery complete.
+      const NodeId target = rrep.path.back();
+      if (auto it = discovering_.find(target); it != discovering_.end()) {
+        node_.sim().cancel(it->second.timer);
+        discovering_.erase(it);
+      }
+      flush_buffer(target);
+    }
+    return;
+  }
+
+  // Relay towards the origin.
+  auto body = std::make_unique<Rrep>(rrep);
+  --body->back_index;
+  const NodeId next = body->path[body->back_index];
+  Packet pkt;
+  pkt.kind = PacketKind::kRoutingControl;
+  pkt.ip.src = node_.id();
+  pkt.ip.dst = body->path.front();
+  pkt.ip.ttl = kInitialTtl;
+  pkt.ip.proto = IpProto::kRouting;
+  pkt.routing = std::move(body);
+  node_.send_with_next_hop(std::move(pkt), next);
+}
+
+// ---------------------------------------------------------------------------
+// Route maintenance
+// ---------------------------------------------------------------------------
+
+void Dsr::on_link_failure(const Packet& pkt, NodeId next_hop) {
+  cache_.remove_link(node_.id(), next_hop);
+
+  if (pkt.kind == PacketKind::kRoutingControl) return;  // lost control: give up
+
+  const auto* sr = dynamic_cast<const SourceRoute*>(pkt.routing.get());
+  if (sr == nullptr) {
+    node_.drop(pkt, DropReason::kMacRetryLimit);
+    return;
+  }
+
+  // Tell the source about the broken link (unless we are the source).
+  if (pkt.ip.src != node_.id() && sr->next_index >= 1) {
+    const std::size_t my_index = sr->next_index - 1;
+    if (my_index < sr->path.size() && sr->path[my_index] == node_.id()) {
+      send_rerr(sr->path, my_index, next_hop);
+    }
+  }
+
+  if (pkt.ip.src == node_.id()) {
+    // Strip the stale route and re-originate (cache lookup or rediscovery).
+    Packet retry = pkt;
+    retry.routing = nullptr;
+    originate(std::move(retry));
+    return;
+  }
+
+  if (cfg_.salvage && sr->salvage_count < cfg_.max_salvage) {
+    try_salvage(pkt, next_hop);
+    return;
+  }
+  node_.drop(pkt, DropReason::kMacRetryLimit);
+}
+
+void Dsr::try_salvage(Packet pkt, NodeId /*broken_to*/) {
+  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.get());
+  MANET_ASSERT(sr != nullptr);
+  auto alt = cache_.find(pkt.ip.dst, node_.sim().now());
+  if (!alt) {
+    node_.drop(pkt, DropReason::kMacRetryLimit);
+    return;
+  }
+  auto fresh = std::make_unique<SourceRoute>();
+  fresh->path = std::move(*alt);
+  fresh->next_index = 1;
+  fresh->salvage_count = sr->salvage_count + 1;
+  const NodeId next = fresh->path[1];
+  pkt.routing = std::move(fresh);
+  node_.send_with_next_hop(std::move(pkt), next);
+}
+
+void Dsr::send_rerr(const Path& data_path, std::size_t my_index, NodeId broken_to) {
+  auto rerr = std::make_unique<Rerr>();
+  rerr->broken_from = node_.id();
+  rerr->broken_to = broken_to;
+  rerr->back_path = Path(data_path.begin(), data_path.begin() + static_cast<std::ptrdiff_t>(my_index) + 1);
+  rerr->back_index = my_index;
+  if (rerr->back_path.size() < 2) return;
+  --rerr->back_index;
+  const NodeId next = rerr->back_path[rerr->back_index];
+  Packet pkt;
+  pkt.kind = PacketKind::kRoutingControl;
+  pkt.ip.src = node_.id();
+  pkt.ip.dst = rerr->back_path.front();
+  pkt.ip.ttl = kInitialTtl;
+  pkt.ip.proto = IpProto::kRouting;
+  pkt.routing = std::move(rerr);
+  node_.send_with_next_hop(std::move(pkt), next);
+}
+
+void Dsr::handle_rerr(const Rerr& rerr) {
+  cache_.remove_link(rerr.broken_from, rerr.broken_to);
+  if (rerr.back_index == 0 || rerr.back_path[rerr.back_index] != node_.id()) {
+    return;  // reached the source (or a stale copy)
+  }
+  auto body = std::make_unique<Rerr>(rerr);
+  --body->back_index;
+  const NodeId next = body->back_path[body->back_index];
+  Packet pkt;
+  pkt.kind = PacketKind::kRoutingControl;
+  pkt.ip.src = node_.id();
+  pkt.ip.dst = body->back_path.front();
+  pkt.ip.ttl = kInitialTtl;
+  pkt.ip.proto = IpProto::kRouting;
+  pkt.routing = std::move(body);
+  node_.send_with_next_hop(std::move(pkt), next);
+}
+
+// ---------------------------------------------------------------------------
+
+void Dsr::on_control(const Packet& pkt, NodeId from) {
+  MANET_ASSERT(pkt.routing != nullptr);
+  if (const auto* rreq = dynamic_cast<const Rreq*>(pkt.routing.get())) {
+    handle_rreq(pkt, *rreq, from);
+  } else if (const auto* rrep = dynamic_cast<const Rrep*>(pkt.routing.get())) {
+    handle_rrep(*rrep);
+  } else if (const auto* rerr = dynamic_cast<const Rerr*>(pkt.routing.get())) {
+    handle_rerr(*rerr);
+  }
+}
+
+void Dsr::flush_buffer(NodeId dst) {
+  for (Packet& pkt : buffer_.take(dst)) route_packet(std::move(pkt));
+}
+
+}  // namespace manet::dsr

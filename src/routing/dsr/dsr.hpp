@@ -1,0 +1,92 @@
+// Dynamic Source Routing (Johnson & Maltz; draft-ietf-manet-dsr).
+//
+// The source-routed reactive protocol of the comparison — Boukerche's
+// headline finding is precisely that DSR-style source routing beats the
+// distance-vector on-demand approach (AODV) on routing overhead. Implemented:
+//   * route discovery with accumulating route records, duplicate
+//     suppression, and a non-propagating (TTL = 1) first query followed by
+//     network-wide retries under exponential backoff;
+//   * replies from the target and — optionally (ablation abl_dsr_cache) —
+//     from intermediate nodes out of their route caches, with loop splicing
+//     checks;
+//   * a path route cache fed by discovery, forwarding, and overheard route
+//     records;
+//   * source-routed forwarding via a header option on every data packet;
+//   * route maintenance on 802.11 link-layer feedback: route error sent to
+//     the packet source, broken link excised from caches, and packet
+//     salvaging from the local cache (bounded per packet);
+//   * a 64-packet / 30 s send buffer.
+// Omitted: promiscuous (tap-mode) listening, gratuitous replies for route
+// shortening, flow state.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/node.hpp"
+#include "routing/common.hpp"
+#include "routing/dsr/dsr_messages.hpp"
+#include "routing/dsr/route_cache.hpp"
+
+namespace manet::dsr {
+
+struct Config {
+  /// Non-propagating (TTL=1) ring-0 query before network-wide flooding.
+  bool nonprop_first_query = true;
+  SimTime nonprop_timeout = milliseconds(30);
+  SimTime first_timeout = milliseconds(500);  // then doubles per retry
+  SimTime max_timeout = seconds(10);
+  int max_retries = 8;
+  bool intermediate_reply = true;  ///< replies from caches (ablation knob)
+  bool salvage = true;
+  int max_salvage = 2;
+  std::size_t cache_capacity = 64;
+  SimTime cache_lifetime = seconds(300);
+};
+
+class Dsr final : public RoutingProtocol {
+ public:
+  Dsr(Node& node, const Config& cfg, RngStream rng);
+
+  void start() override;
+  void route_packet(Packet pkt) override;
+  void on_control(const Packet& pkt, NodeId from) override;
+  void on_link_failure(const Packet& pkt, NodeId next_hop) override;
+  [[nodiscard]] const char* name() const override { return "DSR"; }
+
+  // -- introspection (tests) -------------------------------------------------
+  [[nodiscard]] RouteCache& cache() { return cache_; }
+  [[nodiscard]] std::size_t buffered_packets() { return buffer_.size(); }
+
+ private:
+  struct Discovery {
+    std::uint16_t req_id = 0;
+    int retries = 0;
+    EventId timer = kInvalidEventId;
+  };
+
+  void originate(Packet pkt);
+  void forward_with_route(Packet pkt);
+  void send_rreq(NodeId target, bool nonprop);
+  void rreq_timeout(NodeId target);
+  void handle_rreq(const Packet& pkt, const Rreq& rreq, NodeId from);
+  void handle_rrep(const Rrep& rrep);
+  void handle_rerr(const Rerr& rerr);
+  void send_rrep(Path path);
+  void send_rerr(const Path& data_path, std::size_t my_index, NodeId broken_to);
+  void flush_buffer(NodeId dst);
+  void try_salvage(Packet pkt, NodeId broken_to);
+  /// Cache the sub-path of `path` starting at self, if self appears.
+  void cache_suffix_from_self(const Path& path, SimTime now);
+
+  Config cfg_;
+  RngStream rng_;
+  RouteCache cache_;
+  PacketBuffer buffer_;
+
+  std::uint16_t next_req_id_ = 1;
+  std::unordered_map<NodeId, Discovery> discovering_;
+  /// Duplicate-RREQ suppression: (origin, req_id) -> expiry.
+  std::unordered_map<std::uint64_t, SimTime> rreq_seen_;
+};
+
+}  // namespace manet::dsr

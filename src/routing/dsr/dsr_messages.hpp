@@ -1,0 +1,57 @@
+// DSR header options (draft-ietf-manet-dsr): source route on data packets,
+// route request / reply / error control messages. Sizes follow the draft's
+// option formats (4 bytes per listed address).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/packet.hpp"
+#include "routing/dsr/route_cache.hpp"
+
+namespace manet::dsr {
+
+/// Source-route option attached to every DSR data packet.
+struct SourceRoute final : RoutingPayloadBase<SourceRoute> {
+  Path path;                    ///< [origin, ..., dst]
+  std::size_t next_index = 1;   ///< index in `path` of the next hop
+  int salvage_count = 0;
+
+  [[nodiscard]] std::size_t size_bytes() const override {
+    // Fixed DSR header (4) + option with the intermediate hops listed.
+    return 4 + 4 + 4 * (path.size() >= 2 ? path.size() - 2 : 0);
+  }
+};
+
+struct Rreq final : RoutingPayloadBase<Rreq> {
+  NodeId origin = 0;
+  NodeId target = 0;
+  std::uint16_t req_id = 0;
+  Path record;  ///< traversed nodes, origin first
+
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 4 + 8 + 4 * record.size();
+  }
+};
+
+struct Rrep final : RoutingPayloadBase<Rrep> {
+  Path path;                 ///< discovered route [origin, ..., target]
+  std::size_t back_index = 0;  ///< index of the node currently holding it
+
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 4 + 6 + 4 * path.size();
+  }
+};
+
+struct Rerr final : RoutingPayloadBase<Rerr> {
+  NodeId broken_from = 0;
+  NodeId broken_to = 0;
+  Path back_path;              ///< route to the data source [origin, ..., reporter]
+  std::size_t back_index = 0;  ///< index of the node currently holding it
+
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 4 + 12 + 4 * back_path.size();
+  }
+};
+
+}  // namespace manet::dsr

@@ -1,0 +1,76 @@
+#include "routing/dsr/route_cache.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/assert.hpp"
+
+namespace manet::dsr {
+
+bool loop_free(const Path& path) {
+  std::unordered_set<NodeId> seen;
+  for (const NodeId n : path) {
+    if (!seen.insert(n).second) return false;
+  }
+  return true;
+}
+
+void RouteCache::add(const Path& path, SimTime now) {
+  if (path.size() < 2) return;
+  MANET_EXPECTS(path.front() == self_);
+  if (!loop_free(path)) return;
+  for (auto& e : entries_) {
+    if (e.path == path) {
+      e.expires = now + lifetime_;
+      return;
+    }
+  }
+  if (entries_.size() >= capacity_) {
+    // Evict the entry closest to expiry.
+    auto victim = std::min_element(entries_.begin(), entries_.end(),
+                                   [](const Entry& a, const Entry& b) {
+                                     return a.expires < b.expires;
+                                   });
+    entries_.erase(victim);
+  }
+  entries_.push_back(Entry{path, now + lifetime_});
+}
+
+std::optional<Path> RouteCache::find(NodeId dst, SimTime now) const {
+  std::optional<Path> best;
+  for (const auto& e : entries_) {
+    if (e.expires <= now) continue;
+    const auto it = std::find(e.path.begin(), e.path.end(), dst);
+    if (it == e.path.end()) continue;
+    const auto len = static_cast<std::size_t>(it - e.path.begin()) + 1;
+    if (!best || len < best->size()) {
+      best = Path(e.path.begin(), it + 1);
+    }
+  }
+  return best;
+}
+
+void RouteCache::remove_link(NodeId a, NodeId b) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Path& p = it->path;
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      if (p[i] == a && p[i + 1] == b) {
+        p.resize(i + 1);
+        break;
+      }
+    }
+    if (p.size() < 2) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t RouteCache::size(SimTime now) const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [now](const Entry& e) { return e.expires > now; }));
+}
+
+}  // namespace manet::dsr

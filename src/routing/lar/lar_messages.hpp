@@ -1,0 +1,69 @@
+// LAR control messages: DSR-style options extended with location fields
+// (8 bytes per coordinate pair, per the LAR paper's format estimates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "packet/packet.hpp"
+
+namespace manet::lar {
+
+using Path = std::vector<NodeId>;
+
+/// The request zone carried by zone-limited RREQs.
+struct RequestZone {
+  Vec2 lo;       ///< bottom-left corner
+  Vec2 hi;       ///< top-right corner
+  bool unrestricted = true;  ///< flood fallback: no zone check
+
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return unrestricted || (p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y);
+  }
+};
+
+struct Rreq final : RoutingPayloadBase<Rreq> {
+  NodeId origin = 0;
+  NodeId target = 0;
+  std::uint16_t req_id = 0;
+  Path record;        ///< traversed nodes, origin first
+  RequestZone zone;   ///< forwarding restriction
+  Vec2 origin_pos;    ///< the requester's position (location dissemination)
+
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 4 + 8 + 4 * record.size() + 8 /*origin pos*/ + (zone.unrestricted ? 0 : 16);
+  }
+};
+
+struct Rrep final : RoutingPayloadBase<Rrep> {
+  Path path;                   ///< [origin, ..., target]
+  std::size_t back_index = 0;  ///< index of the node currently holding it
+  Vec2 target_pos;             ///< the target's position at reply time
+
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 4 + 6 + 4 * path.size() + 8;
+  }
+};
+
+struct Rerr final : RoutingPayloadBase<Rerr> {
+  NodeId broken_from = 0;
+  NodeId broken_to = 0;
+  Path back_path;
+  std::size_t back_index = 0;
+
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 4 + 12 + 4 * back_path.size();
+  }
+};
+
+struct SourceRoute final : RoutingPayloadBase<SourceRoute> {
+  Path path;
+  std::size_t next_index = 1;
+
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 4 + 4 + 4 * (path.size() >= 2 ? path.size() - 2 : 0);
+  }
+};
+
+}  // namespace manet::lar

@@ -1,0 +1,74 @@
+#include "routing/olsr/mpr.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace manet::olsr {
+
+std::vector<NodeId> select_mprs(
+    NodeId self, const std::vector<NodeId>& n1,
+    const std::unordered_map<NodeId, std::vector<NodeId>>& n2_of) {
+  const std::unordered_set<NodeId> one_hop(n1.begin(), n1.end());
+
+  // Strict 2-hop set and its coverage map.
+  std::unordered_map<NodeId, std::vector<NodeId>> covered_by;  // 2-hop node -> n1 covers
+  for (const NodeId n : n1) {
+    const auto it = n2_of.find(n);
+    if (it == n2_of.end()) continue;
+    for (const NodeId v : it->second) {
+      if (v == self || one_hop.contains(v)) continue;
+      covered_by[v].push_back(n);
+    }
+  }
+
+  std::unordered_set<NodeId> mpr;
+  std::unordered_set<NodeId> uncovered;
+  for (const auto& [v, covers] : covered_by) {
+    if (covers.size() == 1) {
+      mpr.insert(covers.front());  // sole provider: mandatory
+    } else {
+      uncovered.insert(v);
+    }
+  }
+  // Remove what the mandatory picks already cover.
+  std::erase_if(uncovered, [&](NodeId v) {
+    for (const NodeId c : covered_by.at(v)) {
+      if (mpr.contains(c)) return true;
+    }
+    return false;
+  });
+
+  // Greedy: repeatedly take the neighbour covering the most uncovered 2-hop
+  // nodes; break ties towards the smaller id for determinism.
+  while (!uncovered.empty()) {
+    NodeId best = kBroadcast;
+    std::size_t best_cover = 0;
+    std::vector<NodeId> candidates(n1.begin(), n1.end());
+    std::sort(candidates.begin(), candidates.end());
+    for (const NodeId n : candidates) {
+      if (mpr.contains(n)) continue;
+      const auto it = n2_of.find(n);
+      if (it == n2_of.end()) continue;
+      std::size_t cover = 0;
+      for (const NodeId v : it->second) {
+        if (uncovered.contains(v)) ++cover;
+      }
+      if (cover > best_cover) {
+        best_cover = cover;
+        best = n;
+      }
+    }
+    if (best == kBroadcast) break;  // remaining 2-hop nodes are uncoverable
+    mpr.insert(best);
+    const auto it = n2_of.find(best);
+    if (it != n2_of.end()) {
+      for (const NodeId v : it->second) uncovered.erase(v);
+    }
+  }
+
+  std::vector<NodeId> out(mpr.begin(), mpr.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace manet::olsr

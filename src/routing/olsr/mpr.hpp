@@ -1,0 +1,25 @@
+// Multi-Point Relay selection (RFC 3626 §8.3.1).
+//
+// Pure function, separated from the protocol so its covering property can be
+// property-tested over random graphs: the returned MPR set must cover every
+// strict 2-hop neighbour.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace manet::olsr {
+
+/// `n1`: symmetric 1-hop neighbours of `self`.
+/// `n2_of`: for each 1-hop neighbour, its own symmetric neighbours.
+/// Returns the MPR set (sorted): a subset of n1 covering every node that is
+/// a symmetric neighbour of some n1 member but is neither `self` nor in n1.
+/// Greedy per the RFC: mandatory sole-covers first, then max-coverage with
+/// smallest-id tie-breaking (willingness is not modelled).
+[[nodiscard]] std::vector<NodeId> select_mprs(
+    NodeId self, const std::vector<NodeId>& n1,
+    const std::unordered_map<NodeId, std::vector<NodeId>>& n2_of);
+
+}  // namespace manet::olsr

@@ -1,0 +1,121 @@
+// Optimized Link State Routing (RFC 3626).
+//
+// The proactive protocol of the 2014 follow-up study and the standard
+// proactive comparator in modern reruns of this paper family. Implemented:
+//   * HELLO messages (2 s) with link sensing: a link is ASYM when we hear a
+//     neighbour, SYM once the neighbour's HELLO lists us back; entries
+//     expire after the validity time (6 s);
+//   * 2-hop neighbourhood tracking from HELLO neighbour lists;
+//   * MPR selection (greedy RFC heuristic, in mpr.cpp) re-run on every
+//     neighbourhood change, advertised back via the MPR link code;
+//   * TC messages (5 s) originated by nodes with a non-empty MPR-selector
+//     set, carrying the selector set and an ANSN; flooded with the MPR
+//     forwarding rule (retransmit only if the previous hop selected us as
+//     MPR) — the optimization the protocol is named for (ablation
+//     abl_olsr_mpr floods classically instead);
+//   * topology set with per-origin ANSN freshness and expiry (15 s);
+//   * routing-table computation as BFS over 1-hop links + 2-hop links +
+//     advertised topology links, rerun lazily when inputs change.
+// Omitted: link hysteresis, willingness, multiple interfaces, HNA/MID.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/node.hpp"
+#include "routing/common.hpp"
+#include "routing/olsr/mpr.hpp"
+#include "routing/shortest_path.hpp"
+
+namespace manet::olsr {
+
+enum class LinkCode : std::uint8_t { kAsym, kSym, kMpr, kLost };
+
+struct Hello final : RoutingPayloadBase<Hello> {
+  std::vector<std::pair<NodeId, LinkCode>> links;
+
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 16 + 4 + 6 * links.size();
+  }
+};
+
+struct Tc final : RoutingPayloadBase<Tc> {
+  NodeId origin = 0;
+  std::uint16_t ansn = 0;
+  std::uint16_t msg_seq = 0;
+  std::vector<NodeId> selectors;
+
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 16 + 4 + 4 * selectors.size();
+  }
+};
+
+struct Config {
+  SimTime hello_interval = seconds(2);
+  SimTime tc_interval = seconds(5);
+  SimTime neighb_hold = seconds(6);    // 3 * hello_interval
+  SimTime topology_hold = seconds(15);  // 3 * tc_interval
+  SimTime dup_hold = seconds(30);
+  /// When false, TCs are flooded classically (every node retransmits) —
+  /// the abl_olsr_mpr ablation quantifying the MPR optimization.
+  bool mpr_flooding = true;
+};
+
+class Olsr final : public RoutingProtocol {
+ public:
+  Olsr(Node& node, const Config& cfg, RngStream rng);
+
+  void start() override;
+  void route_packet(Packet pkt) override;
+  void on_control(const Packet& pkt, NodeId from) override;
+  [[nodiscard]] const char* name() const override { return "OLSR"; }
+
+  // -- introspection (tests) -------------------------------------------------
+  [[nodiscard]] std::vector<NodeId> sym_neighbors() const;
+  [[nodiscard]] const std::vector<NodeId>& mprs() const { return mpr_set_; }
+  [[nodiscard]] std::vector<NodeId> mpr_selectors() const;
+  [[nodiscard]] std::optional<NodeId> next_hop_to(NodeId dst);
+
+ private:
+  struct LinkTuple {
+    SimTime sym_until = SimTime::zero();
+    SimTime asym_until = SimTime::zero();
+  };
+  struct TwoHopTuple {
+    SimTime expires = SimTime::zero();
+  };
+  struct TopologyTuple {
+    std::uint16_t ansn = 0;
+    SimTime expires = SimTime::zero();
+  };
+
+  void send_hello();
+  void send_tc();
+  void handle_hello(const Hello& hello, NodeId from);
+  void handle_tc(const Packet& pkt, const Tc& tc, NodeId from);
+  void purge_expired();
+  void recompute_mprs();
+  void recompute_routes();
+  [[nodiscard]] bool link_sym(NodeId nbr) const;
+
+  Config cfg_;
+  RngStream rng_;
+
+  std::unordered_map<NodeId, LinkTuple> links_;
+  /// (1-hop sym neighbour -> its sym neighbours with expiry).
+  std::unordered_map<NodeId, std::unordered_map<NodeId, TwoHopTuple>> twohop_;
+  std::vector<NodeId> mpr_set_;
+  std::unordered_map<NodeId, SimTime> selector_set_;  // who picked us, expiry
+  /// (origin -> advertised selector set) from TCs.
+  std::unordered_map<NodeId, std::pair<TopologyTuple, std::vector<NodeId>>> topology_;
+  std::unordered_map<std::uint64_t, SimTime> dup_set_;
+
+  std::uint16_t ansn_ = 0;
+  std::uint16_t msg_seq_ = 0;
+  bool routes_dirty_ = true;
+  SpfResult routes_;
+};
+
+}  // namespace manet::olsr

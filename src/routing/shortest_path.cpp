@@ -1,0 +1,30 @@
+#include "routing/shortest_path.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace manet {
+
+SpfResult shortest_paths(NodeId self, const AdjacencyMap& adj) {
+  SpfResult res;
+  res.dist[self] = 0;
+  std::deque<NodeId> frontier{self};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const auto it = adj.find(u);
+    if (it == adj.end()) continue;
+    std::vector<NodeId> nbrs = it->second;
+    std::sort(nbrs.begin(), nbrs.end());  // deterministic tie-breaking
+    for (const NodeId v : nbrs) {
+      if (res.dist.contains(v)) continue;
+      res.dist[v] = res.dist[u] + 1;
+      res.next_hop[v] = (u == self) ? v : res.next_hop[u];
+      frontier.push_back(v);
+    }
+  }
+  res.dist.erase(self);
+  return res;
+}
+
+}  // namespace manet

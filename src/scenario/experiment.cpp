@@ -1,0 +1,106 @@
+#include "scenario/experiment.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "core/assert.hpp"
+
+namespace manet {
+
+namespace {
+
+Metric aggregate_metric(const std::vector<double>& xs) {
+  Metric m;
+  if (xs.empty()) return m;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  m.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0.0;
+    for (const double x : xs) ss += (x - m.mean) * (x - m.mean);
+    const double var = ss / static_cast<double>(xs.size() - 1);
+    m.se = std::sqrt(var / static_cast<double>(xs.size()));
+  }
+  return m;
+}
+
+[[nodiscard]] long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtol(v, nullptr, 10);
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(int seeds, unsigned threads)
+    : seeds_(seeds), threads_(threads) {
+  MANET_EXPECTS(seeds >= 1);
+  if (threads_ == 0) threads_ = std::max(1u, std::thread::hardware_concurrency());
+}
+
+ExperimentRunner ExperimentRunner::from_env(int default_seeds) {
+  const int seeds = static_cast<int>(env_long("MANET_BENCH_SEEDS", default_seeds));
+  const auto threads = static_cast<unsigned>(env_long("MANET_BENCH_THREADS", 0));
+  return ExperimentRunner(std::max(1, seeds), threads);
+}
+
+void ExperimentRunner::apply_env_duration(ScenarioConfig& cfg) {
+  const long secs = env_long("MANET_BENCH_DURATION", 0);
+  if (secs > 0) cfg.duration = seconds(secs);
+}
+
+Aggregate ExperimentRunner::run(const ScenarioConfig& base) const {
+  std::vector<ScenarioResult> results(static_cast<std::size_t>(seeds_));
+  std::atomic<int> next{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const int k = next.fetch_add(1);
+      if (k >= seeds_) return;
+      ScenarioConfig cfg = base;
+      cfg.seed = base.seed + static_cast<std::uint64_t>(k);
+      results[static_cast<std::size_t>(k)] = Scenario::run_once(cfg);
+    }
+  };
+
+  const unsigned nthreads = std::min<unsigned>(threads_, static_cast<unsigned>(seeds_));
+  if (nthreads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  auto collect = [&](auto proj) {
+    std::vector<double> xs;
+    xs.reserve(results.size());
+    for (const auto& r : results) xs.push_back(proj(r));
+    return aggregate_metric(xs);
+  };
+
+  Aggregate agg;
+  agg.pdr = collect([](const ScenarioResult& r) { return r.pdr; });
+  agg.delay_ms = collect([](const ScenarioResult& r) { return r.delay_ms; });
+  agg.nrl = collect([](const ScenarioResult& r) { return r.nrl; });
+  agg.nml = collect([](const ScenarioResult& r) { return r.nml; });
+  agg.throughput_kbps = collect([](const ScenarioResult& r) { return r.throughput_kbps; });
+  agg.avg_hops = collect([](const ScenarioResult& r) { return r.avg_hops; });
+  agg.connectivity = collect([](const ScenarioResult& r) { return r.connectivity; });
+  for (const auto& r : results) agg.total_events += r.events;
+  agg.replications = seeds_;
+  return agg;
+}
+
+std::string format_metric(const Metric& m, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << m.mean << " ± " << m.se;
+  return os.str();
+}
+
+}  // namespace manet

@@ -1,0 +1,65 @@
+// Multi-seed experiment execution.
+//
+// Every figure in the paper family is a sweep: (protocol × parameter value),
+// each cell averaged over several random scenarios. The ExperimentRunner
+// executes the replications of a cell on a small thread pool (independent
+// Simulator instances — the embarrassingly-parallel axis) and aggregates
+// mean and standard error for each metric.
+//
+// Environment knobs let benches trade fidelity for wall-clock time without
+// code changes:
+//   MANET_BENCH_SEEDS     replications per cell   (default 3)
+//   MANET_BENCH_DURATION  simulated seconds       (default from config)
+//   MANET_BENCH_THREADS   worker threads          (default hw concurrency)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace manet {
+
+/// Mean and standard error of one metric over the replications.
+struct Metric {
+  double mean = 0.0;
+  double se = 0.0;
+};
+
+struct Aggregate {
+  Metric pdr;
+  Metric delay_ms;
+  Metric nrl;
+  Metric nml;
+  Metric throughput_kbps;
+  Metric avg_hops;
+  Metric connectivity;  ///< oracle PDR upper bound
+  std::uint64_t total_events = 0;
+  int replications = 0;
+};
+
+class ExperimentRunner {
+ public:
+  /// `seeds`: replications per cell; `threads`: 0 = hardware concurrency.
+  explicit ExperimentRunner(int seeds = 5, unsigned threads = 0);
+
+  /// Run `base` under seeds base.seed, base.seed+1, ... and aggregate.
+  [[nodiscard]] Aggregate run(const ScenarioConfig& base) const;
+
+  [[nodiscard]] int seeds() const { return seeds_; }
+
+  /// Construct from the MANET_BENCH_* environment knobs.
+  [[nodiscard]] static ExperimentRunner from_env(int default_seeds = 3);
+
+  /// Apply MANET_BENCH_DURATION to a config (no-op when unset).
+  static void apply_env_duration(ScenarioConfig& cfg);
+
+ private:
+  int seeds_;
+  unsigned threads_;
+};
+
+/// Render one metric as "mean ± se" with the given precision.
+[[nodiscard]] std::string format_metric(const Metric& m, int precision = 3);
+
+}  // namespace manet

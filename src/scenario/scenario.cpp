@@ -1,0 +1,248 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/assert.hpp"
+#include "mobility/random_walk.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/static_mobility.hpp"
+#include "routing/shortest_path.hpp"
+
+namespace manet {
+
+const char* to_string(TrafficKind k) {
+  switch (k) {
+    case TrafficKind::kCbr: return "CBR/UDP";
+    case TrafficKind::kOnOff: return "exponential on/off UDP";
+  }
+  return "?";
+}
+
+const char* to_string(MobilityKind k) {
+  switch (k) {
+    case MobilityKind::kRandomWaypoint: return "random waypoint";
+    case MobilityKind::kRandomWalk: return "random walk";
+    case MobilityKind::kGaussMarkov: return "gauss-markov";
+    case MobilityKind::kManhattan: return "manhattan";
+  }
+  return "?";
+}
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kAodv: return "AODV";
+    case Protocol::kDsr: return "DSR";
+    case Protocol::kCbrp: return "CBRP";
+    case Protocol::kDsdv: return "DSDV";
+    case Protocol::kOlsr: return "OLSR";
+    case Protocol::kLar: return "LAR";
+    case Protocol::kTora: return "TORA";
+  }
+  return "?";
+}
+
+std::string ScenarioConfig::parameter_table() const {
+  std::ostringstream os;
+  os << "Parameter            | Value\n";
+  os << "---------------------+---------------------------\n";
+  os << "Connection type      | " << to_string(traffic) << "\n";
+  os << "Simulation area      | " << area.width << " x " << area.height << " m\n";
+  os << "Transmission range   | " << phy.rx_range_m << " m\n";
+  os << "Carrier-sense range  | " << phy.cs_range_m << " m\n";
+  os << "Link bandwidth       | " << phy.data_rate_bps / 1e6 << " Mbit/s\n";
+  os << "Packet size          | " << payload_bytes << " bytes\n";
+  os << "Number of nodes      | " << num_nodes << "\n";
+  os << "Duration             | " << duration.sec() << " s\n";
+  os << "Pause time           | " << pause.sec() << " s\n";
+  os << "Node speed           | " << v_min << " - " << v_max << " m/s\n";
+  os << "CBR start            | " << cbr_start.sec() << " s (staggered +"
+     << cbr_start_window.sec() << " s)\n";
+  os << "CBR rate             | " << 1.0 / cbr_interval.sec() << " packets/s\n";
+  os << "Number of connections| " << num_connections << "\n";
+  os << "Mobility model       | " << (static_nodes ? "static" : to_string(mobility)) << "\n";
+  os << "Interface queue      | " << mac.ifq_capacity << " packets, drop-tail\n";
+  return os.str();
+}
+
+std::unique_ptr<RoutingProtocol> make_protocol(const ScenarioConfig& cfg, Node& node) {
+  RngStream rng(cfg.seed, "routing", node.id());
+  switch (cfg.protocol) {
+    case Protocol::kAodv: return std::make_unique<aodv::Aodv>(node, cfg.aodv, rng);
+    case Protocol::kDsr: return std::make_unique<dsr::Dsr>(node, cfg.dsr, rng);
+    case Protocol::kCbrp: return std::make_unique<cbrp::Cbrp>(node, cfg.cbrp, rng);
+    case Protocol::kDsdv: return std::make_unique<dsdv::Dsdv>(node, cfg.dsdv, rng);
+    case Protocol::kOlsr: return std::make_unique<olsr::Olsr>(node, cfg.olsr, rng);
+    case Protocol::kLar: return std::make_unique<lar::Lar>(node, cfg.lar, rng);
+    case Protocol::kTora: return std::make_unique<tora::Tora>(node, cfg.tora, rng);
+  }
+  MANET_ASSERT(false);
+  return nullptr;
+}
+
+Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
+  MANET_EXPECTS(cfg.num_nodes >= 2);
+  MANET_EXPECTS(cfg.area.width > 0 && cfg.area.height > 0);
+}
+
+void Scenario::build() {
+  if (built_) return;
+  built_ = true;
+
+  channel_ = std::make_unique<Channel>(sim_, cfg_.phy, cfg_.area, milliseconds(250), cfg_.seed);
+
+  for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
+    MobilityPtr mob;
+    RngStream mrng(cfg_.seed, "mobility", i);
+    if (cfg_.static_nodes) {
+      mob = std::make_unique<StaticMobility>(
+          Vec2{mrng.uniform(0.0, cfg_.area.width), mrng.uniform(0.0, cfg_.area.height)});
+    } else {
+      switch (cfg_.mobility) {
+        case MobilityKind::kRandomWaypoint: {
+          RandomWaypointConfig wp;
+          wp.area = cfg_.area;
+          wp.v_min = cfg_.v_min;
+          wp.v_max = cfg_.v_max;
+          wp.pause = cfg_.pause;
+          wp.warmup = cfg_.mobility_warmup;
+          mob = std::make_unique<RandomWaypoint>(wp, mrng);
+          break;
+        }
+        case MobilityKind::kRandomWalk: {
+          RandomWalkConfig rw;
+          rw.area = cfg_.area;
+          rw.v_min = cfg_.v_min;
+          rw.v_max = cfg_.v_max;
+          mob = std::make_unique<RandomWalk>(rw, mrng);
+          break;
+        }
+        case MobilityKind::kGaussMarkov: {
+          GaussMarkovConfig gm = cfg_.gauss_markov;
+          gm.area = cfg_.area;
+          gm.mean_speed = 0.5 * (cfg_.v_min + cfg_.v_max);
+          gm.max_speed = cfg_.v_max * 1.25;
+          mob = std::make_unique<GaussMarkov>(gm, mrng);
+          break;
+        }
+        case MobilityKind::kManhattan: {
+          ManhattanConfig mh = cfg_.manhattan;
+          mh.area = cfg_.area;
+          mh.v_min = std::max(cfg_.v_min, 0.5);
+          mh.v_max = cfg_.v_max;
+          mob = std::make_unique<Manhattan>(mh, mrng);
+          break;
+        }
+      }
+    }
+    nodes_.push_back(std::make_unique<Node>(sim_, stats_, *channel_, i, std::move(mob),
+                                            cfg_.mac, cfg_.seed));
+  }
+
+  if (!cfg_.trace_path.empty()) {
+    trace_ = std::make_unique<TraceWriter>(cfg_.trace_path);
+    if (trace_->ok()) {
+      for (auto& node : nodes_) node->set_trace(trace_.get());
+    }
+  }
+
+  for (auto& node : nodes_) {
+    protocols_.push_back(make_protocol(cfg_, *node));
+    node->set_routing(protocols_.back().get());
+  }
+
+  // Traffic: `num_connections` distinct (src, dst) pairs, start times
+  // staggered uniformly across the start window — the standard cbrgen.tcl
+  // recipe.
+  RngStream trng(cfg_.seed, "traffic");
+  for (std::uint32_t c = 0; c < cfg_.num_connections; ++c) {
+    const auto src = static_cast<NodeId>(trng.uniform_int(0, cfg_.num_nodes - 1));
+    NodeId dst;
+    do {
+      dst = static_cast<NodeId>(trng.uniform_int(0, cfg_.num_nodes - 1));
+    } while (dst == src);
+    flows_.emplace_back(src, dst);
+    const SimTime start =
+        cfg_.cbr_start + nanoseconds(trng.uniform_int(0, cfg_.cbr_start_window.ns()));
+    if (cfg_.traffic == TrafficKind::kCbr) {
+      CbrSource::Config cc;
+      cc.flow = c;
+      cc.dst = dst;
+      cc.payload_bytes = cfg_.payload_bytes;
+      cc.interval = cfg_.cbr_interval;
+      cc.start = start;
+      cc.stop = cfg_.duration;
+      sources_.push_back(std::make_unique<CbrSource>(*nodes_[src], cc));
+    } else {
+      OnOffSource::Config oc;
+      oc.flow = c;
+      oc.dst = dst;
+      oc.payload_bytes = cfg_.payload_bytes;
+      oc.interval = cfg_.cbr_interval;
+      oc.burst_mean = cfg_.onoff_burst_mean;
+      oc.idle_mean = cfg_.onoff_idle_mean;
+      oc.start = start;
+      oc.stop = cfg_.duration;
+      onoff_sources_.push_back(
+          std::make_unique<OnOffSource>(*nodes_[src], oc, RngStream(cfg_.seed, "onoff", c)));
+    }
+  }
+
+  channel_->start();
+  for (auto& p : protocols_) p->start();
+  for (auto& s : sources_) s->start();
+  for (auto& s : onoff_sources_) s->start();
+
+  if (cfg_.measure_connectivity && !flows_.empty()) {
+    sim_.schedule_at(cfg_.cbr_start, [this] { sample_connectivity(); });
+  }
+}
+
+void Scenario::sample_connectivity() {
+  // Instantaneous unit-disk graph over exact positions.
+  AdjacencyMap adj;
+  for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
+    adj[i] = channel_->neighbors_of(i, cfg_.phy.rx_range_m);
+  }
+  // One BFS per distinct flow source covers all its destinations.
+  std::unordered_map<NodeId, SpfResult> by_src;
+  for (const auto& [src, dst] : flows_) {
+    auto it = by_src.find(src);
+    if (it == by_src.end()) it = by_src.emplace(src, shortest_paths(src, adj)).first;
+    ++conn_samples_;
+    if (it->second.dist.contains(dst)) ++conn_connected_;
+  }
+  if (sim_.now() + seconds(1) <= cfg_.duration) {
+    sim_.schedule(seconds(1), [this] { sample_connectivity(); });
+  }
+}
+
+ScenarioResult Scenario::run() {
+  build();
+  sim_.run_until(cfg_.duration);
+  if (trace_) trace_->flush();
+
+  ScenarioResult r;
+  r.pdr = stats_.pdr();
+  r.delay_ms = stats_.avg_delay_s() * 1e3;
+  r.nrl = stats_.nrl();
+  r.nml = stats_.nml();
+  r.throughput_kbps = stats_.throughput_bps(cfg_.duration) / 1e3;
+  r.avg_hops = stats_.avg_hops();
+  if (conn_samples_ > 0) {
+    r.connectivity = static_cast<double>(conn_connected_) / static_cast<double>(conn_samples_);
+  }
+  r.data_originated = stats_.data_originated();
+  r.data_delivered = stats_.data_delivered();
+  r.routing_tx = stats_.routing_tx();
+  r.mac_ctrl_tx = stats_.mac_ctrl_tx();
+  r.events = sim_.events_executed();
+  return r;
+}
+
+ScenarioResult Scenario::run_once(const ScenarioConfig& cfg) {
+  Scenario s(cfg);
+  return s.run();
+}
+
+}  // namespace manet

@@ -1,0 +1,179 @@
+// Scenario assembly: Table I of the paper family in code.
+//
+// A Scenario owns one complete simulation run: the simulator, channel, N
+// nodes (each with mobility + PHY + MAC + ARP + a routing protocol), the CBR
+// connections, and the statistics. Configuration defaults reproduce the
+// canonical setup: 1000 m × 1000 m area, 250 m range, 2 Mbit/s radios,
+// random waypoint, 10 CBR/UDP connections of 512-byte packets at 4 pkt/s,
+// 150 simulated seconds.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/cbr.hpp"
+#include "app/onoff.hpp"
+#include "core/simulator.hpp"
+#include "mac/mac_config.hpp"
+#include "mobility/gauss_markov.hpp"
+#include "mobility/manhattan.hpp"
+#include "net/node.hpp"
+#include "phy/channel.hpp"
+#include "routing/aodv/aodv.hpp"
+#include "routing/cbrp/cbrp.hpp"
+#include "routing/dsdv/dsdv.hpp"
+#include "routing/dsr/dsr.hpp"
+#include "routing/lar/lar.hpp"
+#include "routing/olsr/olsr.hpp"
+#include "routing/tora/tora.hpp"
+#include "stats/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace manet {
+
+enum class Protocol : std::uint8_t { kAodv, kDsr, kCbrp, kDsdv, kOlsr, kLar, kTora };
+
+[[nodiscard]] const char* to_string(Protocol p);
+
+/// Every implemented protocol: the paper's five plus the position-aided
+/// extension (LAR), in the order used by benches and tables.
+inline constexpr Protocol kAllProtocols[] = {Protocol::kAodv, Protocol::kDsr,  Protocol::kCbrp,
+                                             Protocol::kDsdv, Protocol::kOlsr, Protocol::kLar,
+                                             Protocol::kTora};
+
+/// Which mobility model drives the nodes (the Divecha-et-al. comparison
+/// axis); `static_nodes` overrides all of them.
+enum class MobilityKind : std::uint8_t {
+  kRandomWaypoint,
+  kRandomWalk,
+  kGaussMarkov,
+  kManhattan,
+};
+
+[[nodiscard]] const char* to_string(MobilityKind k);
+
+/// Workload shape: the paper's constant-bit-rate flows, or bursty
+/// exponential ON/OFF flows (extension; see abl_traffic).
+enum class TrafficKind : std::uint8_t { kCbr, kOnOff };
+
+[[nodiscard]] const char* to_string(TrafficKind k);
+
+struct ScenarioConfig {
+  Protocol protocol = Protocol::kAodv;
+  std::uint64_t seed = 1;
+
+  // Topology & mobility (Table I).
+  std::uint32_t num_nodes = 50;
+  Area area{1000.0, 1000.0};
+  bool static_nodes = false;  ///< overrides mobility with random fixed placement
+  MobilityKind mobility = MobilityKind::kRandomWaypoint;
+  double v_min = 0.1;         ///< m/s
+  double v_max = 20.0;        ///< m/s
+  SimTime pause = SimTime::zero();
+  SimTime mobility_warmup = seconds(1000);
+  /// Extra knobs for the non-waypoint models (area/speed fields above are
+  /// copied over these at build time).
+  GaussMarkovConfig gauss_markov;
+  ManhattanConfig manhattan;
+
+  // Traffic (Table I).
+  std::uint32_t num_connections = 10;
+  std::size_t payload_bytes = 512;
+  TrafficKind traffic = TrafficKind::kCbr;
+  SimTime cbr_interval = milliseconds(250);  // 4 packets/s
+  SimTime cbr_start = seconds(10);           // staggered over +10 s
+  SimTime cbr_start_window = seconds(10);
+  SimTime onoff_burst_mean = seconds(5);     // ON/OFF workload only
+  SimTime onoff_idle_mean = seconds(5);
+
+  // Duration.
+  SimTime duration = seconds(150);
+
+  /// When non-empty, write an ns-2-style event trace to this path.
+  std::string trace_path;
+
+  /// Sample ground-truth connectivity (is each flow's (src,dst) pair
+  /// connected in the instantaneous unit-disk graph?) once per second. The
+  /// resulting fraction is the oracle upper bound on PDR — a partitioned
+  /// network caps every protocol — reported as ScenarioResult::connectivity.
+  bool measure_connectivity = true;
+
+  // Stack.
+  PhyConfig phy;
+  MacConfig mac;
+  aodv::Config aodv;
+  dsr::Config dsr;
+  cbrp::Config cbrp;
+  dsdv::Config dsdv;
+  olsr::Config olsr;
+  lar::Config lar;
+  tora::Config tora;
+
+  /// Render the Table-I parameter block (bench/tab_parameters).
+  [[nodiscard]] std::string parameter_table() const;
+};
+
+/// Summary of one finished run.
+struct ScenarioResult {
+  double pdr = 0.0;
+  double delay_ms = 0.0;
+  double nrl = 0.0;
+  double nml = 0.0;
+  double throughput_kbps = 0.0;
+  double avg_hops = 0.0;
+  /// Fraction of (flow, sample) pairs whose endpoints were connected in the
+  /// instantaneous radio graph — the oracle PDR upper bound (1.0 when
+  /// connectivity measurement is disabled).
+  double connectivity = 1.0;
+  std::uint64_t data_originated = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t routing_tx = 0;
+  std::uint64_t mac_ctrl_tx = 0;
+  std::uint64_t events = 0;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& cfg);
+
+  /// Build the network (idempotent; run() calls it if needed).
+  void build();
+
+  /// Run to the configured duration and return the summary.
+  ScenarioResult run();
+
+  /// Convenience: construct, run, summarize.
+  [[nodiscard]] static ScenarioResult run_once(const ScenarioConfig& cfg);
+
+  // -- access for examples/tests (valid after build()) -----------------------
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] StatsCollector& stats() { return stats_; }
+  [[nodiscard]] Channel& channel() { return *channel_; }
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_[i]; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] RoutingProtocol& routing(std::size_t i) { return *protocols_[i]; }
+
+ private:
+  void sample_connectivity();
+
+  ScenarioConfig cfg_;
+  Simulator sim_;
+  StatsCollector stats_;
+  std::unique_ptr<Channel> channel_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<RoutingProtocol>> protocols_;
+  std::vector<std::unique_ptr<CbrSource>> sources_;
+  std::vector<std::unique_ptr<OnOffSource>> onoff_sources_;
+  std::unique_ptr<TraceWriter> trace_;
+  std::vector<std::pair<NodeId, NodeId>> flows_;
+  std::uint64_t conn_samples_ = 0;
+  std::uint64_t conn_connected_ = 0;
+  bool built_ = false;
+};
+
+/// Instantiate a routing protocol of the configured kind for `node`.
+[[nodiscard]] std::unique_ptr<RoutingProtocol> make_protocol(const ScenarioConfig& cfg,
+                                                             Node& node);
+
+}  // namespace manet

@@ -1,0 +1,113 @@
+#include "stats/stats.hpp"
+
+#include <sstream>
+
+namespace manet {
+
+const char* to_string(DropReason r) {
+  switch (r) {
+    case DropReason::kIfqFull: return "ifq-full";
+    case DropReason::kMacRetryLimit: return "mac-retry-limit";
+    case DropReason::kNoRoute: return "no-route";
+    case DropReason::kBufferTimeout: return "buffer-timeout";
+    case DropReason::kBufferOverflow: return "buffer-overflow";
+    case DropReason::kTtlExpired: return "ttl-expired";
+    case DropReason::kArpFail: return "arp-fail";
+    case DropReason::kLoop: return "routing-loop";
+    case DropReason::kProtocol: return "protocol-discard";
+    case DropReason::kCount_: break;
+  }
+  return "?";
+}
+
+void StatsCollector::on_data_originated(std::uint32_t flow) {
+  ++data_originated_;
+  ++flows_[flow].originated;
+}
+
+void StatsCollector::on_data_delivered(SimTime delay, std::size_t payload_bytes,
+                                       std::uint32_t hops, std::uint32_t flow) {
+  ++data_delivered_;
+  delay_sum_s_ += delay.sec();
+  delivered_bytes_ += payload_bytes;
+  hops_sum_ += hops;
+  FlowStats& f = flows_[flow];
+  ++f.delivered;
+  f.delay_sum_s += delay.sec();
+}
+
+StatsCollector::FlowStats StatsCollector::flow(std::uint32_t id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? FlowStats{} : it->second;
+}
+
+std::vector<std::pair<std::uint32_t, StatsCollector::FlowStats>> StatsCollector::flows() const {
+  return {flows_.begin(), flows_.end()};  // std::map: already sorted by id
+}
+
+std::uint64_t StatsCollector::total_drops() const {
+  std::uint64_t n = 0;
+  for (const auto d : drops_) n += d;
+  return n;
+}
+
+double StatsCollector::pdr() const {
+  if (data_originated_ == 0) return 1.0;
+  return static_cast<double>(data_delivered_) / static_cast<double>(data_originated_);
+}
+
+double StatsCollector::avg_delay_s() const {
+  if (data_delivered_ == 0) return 0.0;
+  return delay_sum_s_ / static_cast<double>(data_delivered_);
+}
+
+double StatsCollector::avg_hops() const {
+  if (data_delivered_ == 0) return 0.0;
+  return static_cast<double>(hops_sum_) / static_cast<double>(data_delivered_);
+}
+
+double StatsCollector::nrl() const {
+  // When nothing was delivered, normalize by 1 to keep the metric finite —
+  // a convention also used in the ns-2 scripts of this literature.
+  const double denom = data_delivered_ > 0 ? static_cast<double>(data_delivered_) : 1.0;
+  return static_cast<double>(routing_tx_) / denom;
+}
+
+double StatsCollector::nml() const {
+  const double denom = data_delivered_ > 0 ? static_cast<double>(data_delivered_) : 1.0;
+  return static_cast<double>(routing_tx_ + mac_ctrl_tx_ + arp_tx_) / denom;
+}
+
+double StatsCollector::throughput_bps(SimTime duration) const {
+  if (duration <= SimTime::zero()) return 0.0;
+  return static_cast<double>(delivered_bytes_) * 8.0 / duration.sec();
+}
+
+std::string StatsCollector::summary(SimTime duration) const {
+  std::ostringstream os;
+  os << "data: " << data_originated_ << " sent, " << data_delivered_ << " delivered (PDR "
+     << pdr() * 100.0 << "%)\n";
+  os << "delay: " << avg_delay_s() * 1e3 << " ms avg over " << avg_hops() << " hops avg\n";
+  os << "routing: " << routing_tx_ << " ctrl tx (" << routing_bytes_ << " B), NRL " << nrl()
+     << "\n";
+  os << "mac: " << mac_ctrl_tx_ << " ctrl tx, " << arp_tx_ << " arp tx, NML " << nml() << ", "
+     << collisions_ << " collisions\n";
+  os << "throughput: " << throughput_bps(duration) / 1e3 << " kbit/s\n";
+  os << "drops:";
+  for (std::size_t i = 0; i < static_cast<std::size_t>(DropReason::kCount_); ++i) {
+    if (drops_[i] != 0) {
+      os << ' ' << to_string(static_cast<DropReason>(i)) << '=' << drops_[i];
+    }
+  }
+  os << '\n';
+  if (!flows_.empty()) {
+    os << "per-flow:";
+    for (const auto& [id, f] : flows_) {
+      os << " #" << id << "=" << f.delivered << '/' << f.originated;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace manet

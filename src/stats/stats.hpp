@@ -1,0 +1,144 @@
+// Per-run metric collection.
+//
+// One StatsCollector per simulation run; every layer increments it directly,
+// so no trace files are written or post-processed (ns-2 users did this with
+// awk over out.tr — we fold the same arithmetic into the run). The four
+// canonical metrics of the paper family are derived here:
+//
+//   PDR  = delivered data packets / originated data packets
+//   delay = mean end-to-end latency over delivered data packets
+//   NRL  = routing-control transmissions (each hop counts) / delivered
+//   NML  = (routing + RTS + CTS + MAC ACK + ARP) transmissions / delivered
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace manet {
+
+/// Why a packet was dropped. Kept fine-grained: the distribution of drop
+/// reasons is how one debugs a protocol and explains a PDR curve.
+enum class DropReason : std::uint8_t {
+  kIfqFull,         ///< interface queue overflow (congestion)
+  kMacRetryLimit,   ///< unicast retries exhausted (link break / collision storm)
+  kNoRoute,         ///< routing had no route and could not buffer
+  kBufferTimeout,   ///< sat in a route-request buffer too long
+  kBufferOverflow,  ///< route-request buffer full
+  kTtlExpired,      ///< TTL reached zero
+  kArpFail,         ///< ARP could not resolve next hop
+  kLoop,            ///< routing loop detected (same packet seen again)
+  kProtocol,        ///< protocol-specific discard (e.g. stale source route)
+  kCount_
+};
+
+[[nodiscard]] const char* to_string(DropReason r);
+
+class StatsCollector {
+ public:
+  // -- data path -----------------------------------------------------------
+  void on_data_originated(std::uint32_t flow = 0);
+  void on_data_delivered(SimTime delay, std::size_t payload_bytes, std::uint32_t hops,
+                         std::uint32_t flow = 0);
+  void on_data_dropped(DropReason r) { ++drops_[static_cast<std::size_t>(r)]; }
+  /// A further copy of an already-delivered packet reached the sink (route
+  /// flaps, flooding protocols); not counted in PDR.
+  void on_duplicate_delivery() { ++duplicate_deliveries_; }
+
+  // -- control path (counted per transmission, i.e. per hop) ---------------
+  void on_routing_tx(std::size_t bytes) {
+    ++routing_tx_;
+    routing_bytes_ += bytes;
+  }
+  void on_mac_ctrl_tx() { ++mac_ctrl_tx_; }  // RTS / CTS / MAC ACK
+  void on_arp_tx() { ++arp_tx_; }
+  void on_data_tx() { ++data_tx_; }  // per-hop data transmissions (incl. retries)
+
+  // -- physical layer ------------------------------------------------------
+  void on_collision() { ++collisions_; }
+  void on_tx_energy(double joules) { energy_tx_j_ += joules; }
+  void on_rx_energy(double joules) { energy_rx_j_ += joules; }
+
+  // -- raw counters ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t data_originated() const { return data_originated_; }
+  [[nodiscard]] std::uint64_t data_delivered() const { return data_delivered_; }
+  [[nodiscard]] std::uint64_t data_tx() const { return data_tx_; }
+  [[nodiscard]] std::uint64_t routing_tx() const { return routing_tx_; }
+  [[nodiscard]] std::uint64_t routing_bytes() const { return routing_bytes_; }
+  [[nodiscard]] std::uint64_t mac_ctrl_tx() const { return mac_ctrl_tx_; }
+  [[nodiscard]] std::uint64_t arp_tx() const { return arp_tx_; }
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+  [[nodiscard]] std::uint64_t duplicate_deliveries() const { return duplicate_deliveries_; }
+  [[nodiscard]] double energy_tx_j() const { return energy_tx_j_; }
+  [[nodiscard]] double energy_rx_j() const { return energy_rx_j_; }
+  /// Radio energy (tx+rx airtime only; idle/sleep not modelled) per
+  /// delivered data packet, in millijoules; 0 when nothing was delivered.
+  [[nodiscard]] double energy_per_delivered_mj() const {
+    if (data_delivered_ == 0) return 0.0;
+    return (energy_tx_j_ + energy_rx_j_) * 1e3 / static_cast<double>(data_delivered_);
+  }
+  [[nodiscard]] std::uint64_t drops(DropReason r) const {
+    return drops_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] std::uint64_t total_drops() const;
+
+  // -- derived metrics -------------------------------------------------------
+  /// Packet delivery ratio in [0,1]; 1 when nothing was sent.
+  [[nodiscard]] double pdr() const;
+  /// Mean end-to-end delay of delivered packets, seconds; 0 if none.
+  [[nodiscard]] double avg_delay_s() const;
+  /// Mean hop count of delivered packets; 0 if none.
+  [[nodiscard]] double avg_hops() const;
+  /// Normalized routing load (per delivered packet).
+  [[nodiscard]] double nrl() const;
+  /// Normalized MAC load (per delivered packet).
+  [[nodiscard]] double nml() const;
+  /// Delivered application throughput in bit/s over `duration`.
+  [[nodiscard]] double throughput_bps(SimTime duration) const;
+
+  // -- per-flow breakdown -----------------------------------------------------
+  struct FlowStats {
+    std::uint64_t originated = 0;
+    std::uint64_t delivered = 0;
+    double delay_sum_s = 0.0;
+
+    [[nodiscard]] double pdr() const {
+      return originated == 0 ? 1.0
+                             : static_cast<double>(delivered) / static_cast<double>(originated);
+    }
+    [[nodiscard]] double avg_delay_s() const {
+      return delivered == 0 ? 0.0 : delay_sum_s / static_cast<double>(delivered);
+    }
+  };
+  /// Stats of one flow (zeros if the flow never sent).
+  [[nodiscard]] FlowStats flow(std::uint32_t id) const;
+  /// All flows seen, sorted by id.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, FlowStats>> flows() const;
+
+  /// Multi-line human-readable summary (examples and debugging).
+  [[nodiscard]] std::string summary(SimTime duration) const;
+
+ private:
+  std::uint64_t data_originated_ = 0;
+  std::uint64_t data_delivered_ = 0;
+  std::uint64_t data_tx_ = 0;
+  std::uint64_t routing_tx_ = 0;
+  std::uint64_t routing_bytes_ = 0;
+  std::uint64_t mac_ctrl_tx_ = 0;
+  std::uint64_t arp_tx_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t duplicate_deliveries_ = 0;
+  double energy_tx_j_ = 0.0;
+  double energy_rx_j_ = 0.0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t hops_sum_ = 0;
+  double delay_sum_s_ = 0.0;
+  std::uint64_t drops_[static_cast<std::size_t>(DropReason::kCount_)] = {};
+  std::map<std::uint32_t, FlowStats> flows_;
+};
+
+}  // namespace manet

@@ -1,0 +1,152 @@
+#include "net/arp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "mobility/static_mobility.hpp"
+#include "phy/channel.hpp"
+
+namespace manet {
+namespace {
+
+class SinkListener : public MacListener {
+ public:
+  void mac_deliver(const Packet& f) override {
+    if (f.kind == PacketKind::kArp) {
+      arp_frames.push_back(f);
+    } else {
+      data_frames.push_back(f);
+    }
+  }
+  void mac_link_failure(const Packet&, NodeId) override { ++failures; }
+  std::vector<Packet> arp_frames;
+  std::vector<Packet> data_frames;
+  int failures = 0;
+};
+
+struct ArpNet {
+  explicit ArpNet(const std::vector<Vec2>& positions) {
+    channel = std::make_unique<Channel>(sim, PhyConfig{}, Area{3000.0, 3000.0});
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      mobs.push_back(std::make_unique<StaticMobility>(positions[i]));
+      trx.push_back(std::make_unique<Transceiver>(sim, PhyConfig{}, static_cast<NodeId>(i)));
+      macs.push_back(std::make_unique<WifiMac>(sim, MacConfig{}, *trx.back(), stats,
+                                               RngStream(1, "mac", i)));
+      listeners.push_back(std::make_unique<SinkListener>());
+      macs.back()->set_listener(listeners.back().get());
+      arps.push_back(
+          std::make_unique<Arp>(sim, static_cast<NodeId>(i), *macs.back(), stats));
+      channel->add(trx.back().get(), mobs.back().get());
+    }
+    channel->start();
+    // Wire ARP frame reception manually (no Node in this fixture): forward
+    // delivered ARP frames into the Arp modules each event round.
+  }
+
+  void pump_arp() {
+    for (std::size_t i = 0; i < arps.size(); ++i) {
+      auto& frames = listeners[i]->arp_frames;
+      for (const Packet& f : frames) arps[i]->on_receive(f);
+      frames.clear();
+    }
+  }
+
+  /// Run, pumping received ARP frames into the ARP modules.
+  void run_pumped(SimTime total, SimTime step = milliseconds(1)) {
+    const SimTime end = sim.now() + total;
+    while (sim.now() < end) {
+      sim.run_until(std::min(end, sim.now() + step));
+      pump_arp();
+    }
+  }
+
+  Packet data(NodeId src, NodeId dst) {
+    Packet p;
+    p.kind = PacketKind::kData;
+    p.ip.src = src;
+    p.ip.dst = dst;
+    p.payload_bytes = 64;
+    return p;
+  }
+
+  Simulator sim;
+  StatsCollector stats;
+  std::unique_ptr<Channel> channel;
+  std::vector<std::unique_ptr<StaticMobility>> mobs;
+  std::vector<std::unique_ptr<Transceiver>> trx;
+  std::vector<std::unique_ptr<WifiMac>> macs;
+  std::vector<std::unique_ptr<SinkListener>> listeners;
+  std::vector<std::unique_ptr<Arp>> arps;
+};
+
+TEST(Arp, BroadcastNeedsNoResolution) {
+  ArpNet net({{0.0, 0.0}, {200.0, 0.0}});
+  net.arps[0]->send(net.data(0, kBroadcast), kBroadcast);
+  net.run_pumped(milliseconds(50));
+  EXPECT_EQ(net.listeners[1]->data_frames.size(), 1u);
+  EXPECT_EQ(net.stats.arp_tx(), 0u);
+}
+
+TEST(Arp, ResolvesThenDelivers) {
+  ArpNet net({{0.0, 0.0}, {200.0, 0.0}});
+  EXPECT_FALSE(net.arps[0]->resolved(1));
+  net.arps[0]->send(net.data(0, 1), 1);
+  net.run_pumped(milliseconds(100));
+  EXPECT_TRUE(net.arps[0]->resolved(1));
+  EXPECT_EQ(net.listeners[1]->data_frames.size(), 1u);
+  // One request (broadcast) + one reply (unicast).
+  EXPECT_EQ(net.stats.arp_tx(), 2u);
+}
+
+TEST(Arp, CacheHitSkipsRequest) {
+  ArpNet net({{0.0, 0.0}, {200.0, 0.0}});
+  net.arps[0]->send(net.data(0, 1), 1);
+  net.run_pumped(milliseconds(100));
+  const auto arp_before = net.stats.arp_tx();
+  net.arps[0]->send(net.data(0, 1), 1);
+  net.run_pumped(milliseconds(100));
+  EXPECT_EQ(net.stats.arp_tx(), arp_before);  // no new ARP traffic
+  EXPECT_EQ(net.listeners[1]->data_frames.size(), 2u);
+}
+
+TEST(Arp, ReplyResolvesRequesterToo) {
+  // The responder learns the requester's mapping from the request itself.
+  ArpNet net({{0.0, 0.0}, {200.0, 0.0}});
+  net.arps[0]->send(net.data(0, 1), 1);
+  net.run_pumped(milliseconds(100));
+  EXPECT_TRUE(net.arps[1]->resolved(0));
+}
+
+TEST(Arp, SecondPacketEvictsFirstWhileUnresolved) {
+  ArpNet net({{0.0, 0.0}, {2000.0, 0.0}});  // 1 unreachable
+  net.arps[0]->send(net.data(0, 1), 1);
+  net.arps[0]->send(net.data(0, 1), 1);  // evicts the first
+  net.run_pumped(milliseconds(50));
+  EXPECT_EQ(net.stats.drops(DropReason::kArpFail), 1u);
+}
+
+TEST(Arp, UnresolvableEventuallyDrops) {
+  ArpNet net({{0.0, 0.0}, {2000.0, 0.0}});
+  net.arps[0]->send(net.data(0, 1), 1);
+  net.run_pumped(seconds(3));
+  EXPECT_EQ(net.stats.drops(DropReason::kArpFail), 1u);
+  EXPECT_FALSE(net.arps[0]->resolved(1));
+  // kMaxTries requests were broadcast.
+  EXPECT_EQ(net.stats.arp_tx(), static_cast<std::uint64_t>(Arp::kMaxTries));
+}
+
+TEST(Arp, ThirdPartyLearnsNothingWrong) {
+  ArpNet net({{0.0, 0.0}, {200.0, 0.0}, {100.0, 100.0}});
+  net.arps[0]->send(net.data(0, 1), 1);
+  net.run_pumped(milliseconds(100));
+  // Node 2 overheard the broadcast request and may cache the sender; it must
+  // not believe it can resolve node 1 (the unicast reply bypassed it).
+  EXPECT_FALSE(net.arps[2]->resolved(1));
+}
+
+}  // namespace
+}  // namespace manet

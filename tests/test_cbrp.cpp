@@ -1,0 +1,151 @@
+#include "routing/cbrp/cbrp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace manet {
+namespace {
+
+using test::TestNet;
+using test::line_positions;
+
+TestNet::ProtocolFactory cbrp_factory(cbrp::Config cfg = {}) {
+  return [cfg](Node& n, std::uint64_t seed) {
+    return std::make_unique<cbrp::Cbrp>(n, cfg, RngStream(seed, "routing", n.id()));
+  };
+}
+
+cbrp::Cbrp& as_cbrp(RoutingProtocol& rp) { return dynamic_cast<cbrp::Cbrp&>(rp); }
+
+TEST(Cbrp, Name) {
+  TestNet net(line_positions(2), cbrp_factory());
+  EXPECT_STREQ(net.routing(0).name(), "CBRP");
+}
+
+TEST(Cbrp, ClustersFormOnLine) {
+  // Line 0-1-2-3-4 (200 m gaps): lowest-id election yields heads {0, 2, 4},
+  // with 1 and 3 as members bridging them (gateways). Elections cascade down
+  // the line one hello round at a time, and gateway flags update one round
+  // after the neighbouring head appears — allow ~8 rounds.
+  TestNet net(line_positions(5), cbrp_factory());
+  net.run_for(seconds(18));
+  EXPECT_EQ(as_cbrp(net.routing(0)).role(), cbrp::Role::kHead);
+  EXPECT_EQ(as_cbrp(net.routing(2)).role(), cbrp::Role::kHead);
+  EXPECT_EQ(as_cbrp(net.routing(4)).role(), cbrp::Role::kHead);
+  EXPECT_EQ(as_cbrp(net.routing(1)).role(), cbrp::Role::kMember);
+  EXPECT_EQ(as_cbrp(net.routing(3)).role(), cbrp::Role::kMember);
+  EXPECT_EQ(as_cbrp(net.routing(1)).head(), 0u);
+  EXPECT_TRUE(as_cbrp(net.routing(1)).gateway());
+  EXPECT_TRUE(as_cbrp(net.routing(3)).gateway());
+}
+
+TEST(Cbrp, SingleClusterWhenAllInRange) {
+  std::vector<Vec2> pos = {{0.0, 0.0}, {100.0, 0.0}, {0.0, 100.0}, {100.0, 100.0}};
+  TestNet net(pos, cbrp_factory());
+  net.run_for(seconds(12));
+  EXPECT_EQ(as_cbrp(net.routing(0)).role(), cbrp::Role::kHead);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(as_cbrp(net.routing(i)).role(), cbrp::Role::kMember);
+    EXPECT_EQ(as_cbrp(net.routing(i)).head(), 0u);
+    EXPECT_FALSE(as_cbrp(net.routing(i)).gateway());
+  }
+}
+
+TEST(Cbrp, HeadContentionResolvesWhenHeadsMeet) {
+  // Two isolated nodes both become heads; bring them into range and the
+  // higher id must step down.
+  TestNet net({{0.0, 0.0}, {1500.0, 0.0}}, cbrp_factory());
+  net.run_for(seconds(12));
+  ASSERT_EQ(as_cbrp(net.routing(0)).role(), cbrp::Role::kHead);
+  ASSERT_EQ(as_cbrp(net.routing(1)).role(), cbrp::Role::kHead);
+  net.mobility(1).set_position({150.0, 0.0});
+  net.run_for(seconds(20));  // contention grace + hellos
+  EXPECT_EQ(as_cbrp(net.routing(0)).role(), cbrp::Role::kHead);
+  EXPECT_EQ(as_cbrp(net.routing(1)).role(), cbrp::Role::kMember);
+  EXPECT_EQ(as_cbrp(net.routing(1)).head(), 0u);
+}
+
+TEST(Cbrp, NeighborTableTracksBidirectionality) {
+  TestNet net(line_positions(3), cbrp_factory());
+  net.run_for(seconds(8));
+  EXPECT_EQ(as_cbrp(net.routing(1)).neighbor_ids(), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(as_cbrp(net.routing(0)).neighbor_ids(), (std::vector<NodeId>{1}));
+}
+
+TEST(Cbrp, DeliversToDirectNeighborWithoutDiscovery) {
+  TestNet net(line_positions(3), cbrp_factory());
+  net.run_for(seconds(8));
+  const auto tx = net.stats().routing_tx();
+  net.send_data(1, 2);
+  net.run_for(seconds(2));
+  EXPECT_EQ(net.stats().data_delivered(), 1u);
+  // Only periodic hellos in the interim — no RREQ burst.
+  EXPECT_LE(net.stats().routing_tx() - tx, 6u);
+}
+
+TEST(Cbrp, DeliversAcrossClusters) {
+  TestNet net(line_positions(5), cbrp_factory());
+  net.run_for(seconds(12));
+  net.send_data(0, 4);
+  net.run_for(seconds(5));
+  EXPECT_EQ(net.stats().data_delivered(), 1u);
+}
+
+TEST(Cbrp, RouteShorteningSkipsListedHops) {
+  // Discovery through heads can yield a path longer than the direct line;
+  // shortening must cut listed-but-unnecessary hops when forwarding. Build a
+  // topology where everything is mutually reachable: path collapses.
+  std::vector<Vec2> pos = {{0.0, 0.0}, {150.0, 0.0}, {80.0, 120.0}};
+  TestNet net(pos, cbrp_factory());
+  net.run_for(seconds(12));
+  net.send_data(0, 2);
+  net.run_for(seconds(3));
+  ASSERT_EQ(net.stats().data_delivered(), 1u);
+  EXPECT_DOUBLE_EQ(net.stats().avg_hops(), 1.0);  // went direct
+}
+
+TEST(Cbrp, SourceRediscoversAfterBreak) {
+  cbrp::Config cfg;
+  cfg.local_repair = false;
+  std::vector<Vec2> pos = {{0.0, 0.0}, {200.0, 0.0}, {400.0, 0.0}, {200.0, 150.0}};
+  TestNet net(pos, cbrp_factory(cfg));
+  net.run_for(seconds(12));
+  net.send_data(0, 2);
+  net.run_for(seconds(3));
+  ASSERT_EQ(net.stats().data_delivered(), 1u);
+  net.mobility(1).set_position({3000.0, 3000.0});
+  net.run_for(seconds(7));  // neighbour tables expire
+  net.send_data(0, 2, 0, 1);
+  net.run_for(seconds(20));
+  EXPECT_EQ(net.stats().data_delivered(), 2u);
+}
+
+TEST(Cbrp, LocalRepairPatchesAroundDeadHop) {
+  // 0-1-2 with helper 3 adjacent to both 1 and 2's new position.
+  std::vector<Vec2> pos = {{0.0, 0.0}, {200.0, 0.0}, {400.0, 0.0}, {250.0, 150.0}};
+  TestNet net(pos, cbrp_factory());
+  net.run_for(seconds(12));
+  net.send_data(0, 2);
+  net.run_for(seconds(3));
+  ASSERT_EQ(net.stats().data_delivered(), 1u);
+  // Move 2 out of 1's reach but keep it within 3's.
+  net.mobility(2).set_position({420.0, 280.0});
+  net.run_for(milliseconds(600));  // refresh, but hello tables still warm
+  net.send_data(0, 2, 0, 1);
+  net.run_for(seconds(8));
+  EXPECT_EQ(net.stats().data_delivered(), 2u);
+}
+
+TEST(Cbrp, UnreachableTargetGivesUp) {
+  TestNet net(line_positions(2), cbrp_factory());
+  net.send_data(0, 30);
+  net.run_for(seconds(120));
+  EXPECT_EQ(net.stats().data_delivered(), 0u);
+  EXPECT_GT(net.stats().drops(DropReason::kNoRoute) +
+                net.stats().drops(DropReason::kBufferTimeout),
+            0u);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,133 @@
+#include "routing/cbrp/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace manet::cbrp {
+namespace {
+
+TEST(Cluster, LonelyNodeBecomesHead) {
+  EXPECT_EQ(decide_role(5, {}), Role::kHead);
+}
+
+TEST(Cluster, JoinsNearbyHead) {
+  const std::vector<NeighborSummary> nbrs = {{3, Role::kHead, 3}};
+  EXPECT_EQ(decide_role(5, nbrs), Role::kMember);
+}
+
+TEST(Cluster, LowestUndecidedBecomesHead) {
+  const std::vector<NeighborSummary> nbrs = {{7, Role::kUndecided, kBroadcast},
+                                             {9, Role::kUndecided, kBroadcast}};
+  EXPECT_EQ(decide_role(5, nbrs), Role::kHead);
+}
+
+TEST(Cluster, WaitsWhenSmallerUndecidedNeighborExists) {
+  const std::vector<NeighborSummary> nbrs = {{2, Role::kUndecided, kBroadcast}};
+  EXPECT_EQ(decide_role(5, nbrs), Role::kUndecided);
+}
+
+TEST(Cluster, MemberNeighborsDontBlockElection) {
+  const std::vector<NeighborSummary> nbrs = {{2, Role::kMember, 1}};
+  EXPECT_EQ(decide_role(5, nbrs), Role::kHead);
+}
+
+TEST(Cluster, HeadWinsOverSmallerUndecided) {
+  // A head neighbour dominates: join it even if smaller undecided ids exist.
+  const std::vector<NeighborSummary> nbrs = {{2, Role::kUndecided, kBroadcast},
+                                             {8, Role::kHead, 8}};
+  EXPECT_EQ(decide_role(5, nbrs), Role::kMember);
+}
+
+TEST(Cluster, ContestedOnlyBySmallerHead) {
+  EXPECT_TRUE(head_contested(5, {{3, Role::kHead, 3}}));
+  EXPECT_FALSE(head_contested(5, {{8, Role::kHead, 8}}));
+  EXPECT_FALSE(head_contested(5, {{3, Role::kMember, 8}}));
+}
+
+TEST(Cluster, PickHeadChoosesSmallest) {
+  const std::vector<NeighborSummary> nbrs = {{9, Role::kHead, 9},
+                                             {4, Role::kHead, 4},
+                                             {2, Role::kMember, 4}};
+  EXPECT_EQ(pick_head(nbrs), 4u);
+  EXPECT_EQ(pick_head({}), kBroadcast);
+}
+
+TEST(Cluster, GatewaySeesTwoHeads) {
+  const std::vector<NeighborSummary> nbrs = {{1, Role::kHead, 1}, {6, Role::kHead, 6}};
+  EXPECT_TRUE(is_gateway(1, nbrs));
+}
+
+TEST(Cluster, GatewayViaForeignMember) {
+  const std::vector<NeighborSummary> nbrs = {{1, Role::kHead, 1}, {7, Role::kMember, 9}};
+  EXPECT_TRUE(is_gateway(1, nbrs));
+}
+
+TEST(Cluster, NotGatewayInsideOwnCluster) {
+  const std::vector<NeighborSummary> nbrs = {{1, Role::kHead, 1}, {7, Role::kMember, 1}};
+  EXPECT_FALSE(is_gateway(1, nbrs));
+}
+
+TEST(Cluster, UnaffiliatedMemberDoesNotMakeGateway) {
+  const std::vector<NeighborSummary> nbrs = {{1, Role::kHead, 1},
+                                             {7, Role::kMember, kBroadcast}};
+  EXPECT_FALSE(is_gateway(1, nbrs));
+}
+
+// Property: iterating the decision rule on a random static neighbourhood
+// graph converges to a valid clustering — every member has a head neighbour,
+// every node is decided.
+class ClusterProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterProperty, SynchronousIterationConverges) {
+  RngStream rng(GetParam());
+  constexpr int kN = 25;
+  // Random symmetric adjacency.
+  bool adj[kN][kN] = {};
+  for (int i = 0; i < kN; ++i) {
+    for (int j = i + 1; j < kN; ++j) {
+      adj[i][j] = adj[j][i] = rng.chance(0.15);
+    }
+  }
+  std::vector<Role> role(kN, Role::kUndecided);
+  std::vector<NodeId> head(kN, kBroadcast);
+  for (int round = 0; round < kN + 2; ++round) {
+    std::vector<Role> next_role = role;
+    std::vector<NodeId> next_head = head;
+    for (int i = 0; i < kN; ++i) {
+      std::vector<NeighborSummary> nbrs;
+      for (int j = 0; j < kN; ++j) {
+        if (adj[i][j]) {
+          nbrs.push_back({static_cast<NodeId>(j), role[static_cast<std::size_t>(j)],
+                          head[static_cast<std::size_t>(j)]});
+        }
+      }
+      if (role[static_cast<std::size_t>(i)] == Role::kHead) {
+        // Heads persist in this synchronous model (no contention timing).
+        continue;
+      }
+      const Role r = decide_role(static_cast<NodeId>(i), nbrs);
+      next_role[static_cast<std::size_t>(i)] = r;
+      next_head[static_cast<std::size_t>(i)] =
+          r == Role::kHead ? static_cast<NodeId>(i)
+          : r == Role::kMember ? pick_head(nbrs)
+                               : kBroadcast;
+    }
+    role = next_role;
+    head = next_head;
+  }
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_NE(role[static_cast<std::size_t>(i)], Role::kUndecided) << "node " << i;
+    if (role[static_cast<std::size_t>(i)] == Role::kMember) {
+      const NodeId h = head[static_cast<std::size_t>(i)];
+      ASSERT_NE(h, kBroadcast);
+      EXPECT_TRUE(adj[i][h]) << "member " << i << " cannot hear its head " << h;
+      EXPECT_EQ(role[h], Role::kHead);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterProperty, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace manet::cbrp

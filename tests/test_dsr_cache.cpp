@@ -1,0 +1,156 @@
+#include "routing/dsr/route_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace manet::dsr {
+namespace {
+
+const SimTime kNow = seconds(10);
+
+TEST(DsrCache, FindOnEmpty) {
+  RouteCache c(0);
+  EXPECT_FALSE(c.find(5, kNow).has_value());
+}
+
+TEST(DsrCache, AddAndFind) {
+  RouteCache c(0);
+  c.add({0, 1, 2}, kNow);
+  const auto p = c.find(2, kNow);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Path{0, 1, 2}));
+}
+
+TEST(DsrCache, FindsPrefixOfLongerPath) {
+  RouteCache c(0);
+  c.add({0, 1, 2, 3, 4}, kNow);
+  const auto p = c.find(2, kNow);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Path{0, 1, 2}));
+}
+
+TEST(DsrCache, PrefersShortestPath) {
+  RouteCache c(0);
+  c.add({0, 1, 2, 3}, kNow);
+  c.add({0, 4, 3}, kNow);
+  const auto p = c.find(3, kNow);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 3u);
+  EXPECT_EQ(p->back(), 3u);
+}
+
+TEST(DsrCache, RejectsLoopyPaths) {
+  RouteCache c(0);
+  c.add({0, 1, 2, 1, 3}, kNow);
+  EXPECT_FALSE(c.find(3, kNow).has_value());
+}
+
+TEST(DsrCache, RejectsTrivialPaths) {
+  RouteCache c(0);
+  c.add({0}, kNow);
+  EXPECT_EQ(c.size(kNow), 0u);
+}
+
+TEST(DsrCache, ExpiryHidesPaths) {
+  RouteCache c(0, 64, /*lifetime=*/seconds(5));
+  c.add({0, 1}, kNow);
+  EXPECT_TRUE(c.find(1, kNow + seconds(4)).has_value());
+  EXPECT_FALSE(c.find(1, kNow + seconds(6)).has_value());
+}
+
+TEST(DsrCache, DuplicateAddRefreshesExpiry) {
+  RouteCache c(0, 64, seconds(5));
+  c.add({0, 1}, kNow);
+  c.add({0, 1}, kNow + seconds(4));
+  EXPECT_TRUE(c.find(1, kNow + seconds(8)).has_value());
+  EXPECT_EQ(c.size(kNow + seconds(8)), 1u);
+}
+
+TEST(DsrCache, RemoveLinkTruncates) {
+  RouteCache c(0);
+  c.add({0, 1, 2, 3}, kNow);
+  c.remove_link(2, 3);
+  EXPECT_FALSE(c.find(3, kNow).has_value());
+  EXPECT_TRUE(c.find(2, kNow).has_value());  // prefix survives
+}
+
+TEST(DsrCache, RemoveLinkIsDirected) {
+  RouteCache c(0);
+  c.add({0, 1, 2}, kNow);
+  c.remove_link(2, 1);  // reverse direction: unaffected
+  EXPECT_TRUE(c.find(2, kNow).has_value());
+}
+
+TEST(DsrCache, RemoveFirstLinkDropsPath) {
+  RouteCache c(0);
+  c.add({0, 1, 2}, kNow);
+  c.remove_link(0, 1);
+  EXPECT_FALSE(c.find(1, kNow).has_value());
+  EXPECT_EQ(c.size(kNow), 0u);
+}
+
+TEST(DsrCache, CapacityEvictsNearestExpiry) {
+  RouteCache c(0, /*capacity=*/2, seconds(100));
+  c.add({0, 1}, kNow);
+  c.add({0, 2}, kNow + seconds(1));
+  c.add({0, 3}, kNow + seconds(2));  // evicts {0,1}
+  EXPECT_FALSE(c.find(1, kNow + seconds(3)).has_value());
+  EXPECT_TRUE(c.find(2, kNow + seconds(3)).has_value());
+  EXPECT_TRUE(c.find(3, kNow + seconds(3)).has_value());
+}
+
+TEST(DsrCache, LoopFreeHelper) {
+  EXPECT_TRUE(loop_free({0, 1, 2}));
+  EXPECT_FALSE(loop_free({0, 1, 0}));
+  EXPECT_TRUE(loop_free({}));
+}
+
+// Property: find() never returns a path that does not start at self, end at
+// the target, or that contains a removed link.
+class DsrCacheProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DsrCacheProperty, FindRespectsInvariants) {
+  RngStream rng(GetParam());
+  RouteCache c(0, 32, seconds(50));
+  std::vector<std::pair<NodeId, NodeId>> removed;
+  for (int step = 0; step < 300; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.5) {
+      Path p{0};
+      const int len = static_cast<int>(rng.uniform_int(1, 5));
+      for (int i = 0; i < len; ++i) p.push_back(static_cast<NodeId>(rng.uniform_int(1, 15)));
+      c.add(p, kNow);
+      // A re-added path may legitimately reintroduce a removed link.
+      std::erase_if(removed, [&p](const std::pair<NodeId, NodeId>& link) {
+        for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+          if (p[i] == link.first && p[i + 1] == link.second) return true;
+        }
+        return false;
+      });
+    } else if (roll < 0.7) {
+      const auto a = static_cast<NodeId>(rng.uniform_int(0, 15));
+      const auto b = static_cast<NodeId>(rng.uniform_int(0, 15));
+      c.remove_link(a, b);
+      removed.emplace_back(a, b);
+    } else {
+      const auto dst = static_cast<NodeId>(rng.uniform_int(1, 15));
+      const auto p = c.find(dst, kNow);
+      if (!p) continue;
+      EXPECT_EQ(p->front(), 0u);
+      EXPECT_EQ(p->back(), dst);
+      EXPECT_TRUE(loop_free(*p));
+      for (const auto& [a, b] : removed) {
+        for (std::size_t i = 0; i + 1 < p->size(); ++i) {
+          EXPECT_FALSE((*p)[i] == a && (*p)[i + 1] == b)
+              << "returned path uses removed link " << a << "->" << b;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsrCacheProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace manet::dsr

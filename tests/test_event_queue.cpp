@@ -1,0 +1,135 @@
+#include "core/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace manet {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(milliseconds(3), [&] { order.push_back(3); });
+  q.schedule(milliseconds(1), [&] { order.push_back(1); });
+  q.schedule(milliseconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(milliseconds(1), [&] { ++fired; });
+  q.schedule(milliseconds(2), [&] { ++fired; });
+  EXPECT_TRUE(q.pending(id));
+  q.cancel(id);
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelExecutedEventIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(milliseconds(1), [] {});
+  q.pop();
+  q.cancel(id);  // must not corrupt anything
+  EXPECT_TRUE(q.empty());
+  q.schedule(milliseconds(2), [] {});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelInvalidIdIsNoop) {
+  EventQueue q;
+  q.cancel(kInvalidEventId);
+  q.cancel(123456);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DoubleCancelIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(milliseconds(1), [] {});
+  q.schedule(milliseconds(2), [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.schedule(milliseconds(1), [] {});
+  q.schedule(milliseconds(5), [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), milliseconds(5));
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(milliseconds(i), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, IdsAreNeverReused) {
+  EventQueue q;
+  const EventId a = q.schedule(milliseconds(1), [] {});
+  q.pop();
+  const EventId b = q.schedule(milliseconds(1), [] {});
+  EXPECT_NE(a, b);
+}
+
+// Property: a random mix of schedules and cancels always pops in
+// non-decreasing time order and fires exactly the non-cancelled callbacks.
+class EventQueueProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueProperty, RandomMixMaintainsOrderAndCount) {
+  RngStream rng(GetParam());
+  EventQueue q;
+  std::vector<EventId> live;
+  int expected = 0;
+  int fired = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (live.empty() || rng.uniform() < 0.7) {
+      live.push_back(q.schedule(milliseconds(rng.uniform_int(0, 1000)), [&] { ++fired; }));
+      ++expected;
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      if (q.pending(live[idx])) --expected;
+      q.cancel(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+  SimTime last = SimTime::zero();
+  while (!q.empty()) {
+    auto ev = q.pop();
+    EXPECT_GE(ev.time, last);
+    last = ev.time;
+    ev.cb();
+  }
+  EXPECT_EQ(fired, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "geom/grid_index.hpp"
+#include "geom/vec2.hpp"
+
+namespace manet {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, 4.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 6.0}));
+  EXPECT_EQ((b - a), (Vec2{2.0, 2.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Vec2{2.0, 4.0}));
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({0.0, 0.0}, {3.0, 4.0}), 25.0);
+}
+
+TEST(Area, ContainsAndClamp) {
+  const Area a{100.0, 50.0};
+  EXPECT_TRUE(a.contains({0.0, 0.0}));
+  EXPECT_TRUE(a.contains({100.0, 50.0}));
+  EXPECT_FALSE(a.contains({100.1, 0.0}));
+  EXPECT_FALSE(a.contains({0.0, -0.1}));
+  EXPECT_EQ(a.clamp({150.0, -10.0}), (Vec2{100.0, 0.0}));
+  EXPECT_EQ(a.clamp({50.0, 25.0}), (Vec2{50.0, 25.0}));
+}
+
+TEST(GridIndex, InsertAssignsDenseIds) {
+  GridIndex g({1000.0, 1000.0}, 250.0);
+  EXPECT_EQ(g.insert({10.0, 10.0}), 0u);
+  EXPECT_EQ(g.insert({500.0, 500.0}), 1u);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.position(1), (Vec2{500.0, 500.0}));
+}
+
+TEST(GridIndex, QueryFindsInRadius) {
+  GridIndex g({1000.0, 1000.0}, 250.0);
+  g.insert({100.0, 100.0});  // 0
+  g.insert({200.0, 100.0});  // 1: 100 m from 0
+  g.insert({900.0, 900.0});  // 2: far away
+  std::vector<std::uint32_t> out;
+  g.query({100.0, 100.0}, 150.0, 0, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(GridIndex, QueryRadiusIsInclusive) {
+  GridIndex g({1000.0, 1000.0}, 250.0);
+  g.insert({0.0, 0.0});
+  g.insert({100.0, 0.0});
+  std::vector<std::uint32_t> out;
+  g.query({0.0, 0.0}, 100.0, 0, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(GridIndex, ExcludeParameter) {
+  GridIndex g({1000.0, 1000.0}, 250.0);
+  g.insert({100.0, 100.0});
+  g.insert({110.0, 100.0});
+  std::vector<std::uint32_t> out;
+  g.query({100.0, 100.0}, 50.0, 1, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0}));
+  out.clear();
+  g.query({100.0, 100.0}, 50.0, 99, out);  // exclude nothing
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(GridIndex, UpdateMovesAcrossCells) {
+  GridIndex g({1000.0, 1000.0}, 100.0);
+  g.insert({50.0, 50.0});
+  g.insert({52.0, 50.0});
+  g.update(0, {950.0, 950.0});
+  std::vector<std::uint32_t> out;
+  g.query({950.0, 950.0}, 10.0, 99, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0}));
+  out.clear();
+  g.query({50.0, 50.0}, 10.0, 99, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(GridIndex, PointsOutsideAreaAreClampedIntoEdgeCells) {
+  GridIndex g({100.0, 100.0}, 50.0);
+  g.insert({150.0, 150.0});  // clamps to the corner cell
+  std::vector<std::uint32_t> out;
+  g.query({150.0, 150.0}, 80.0, 99, out);
+  EXPECT_EQ(out.size(), 1u);  // exact distance check uses the raw position
+}
+
+// Property: grid query == brute force, over random point sets, radii, moves.
+class GridProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridProperty, MatchesBruteForce) {
+  RngStream rng(GetParam());
+  const Area area{1000.0, 700.0};
+  GridIndex g(area, 200.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 p{rng.uniform(0.0, area.width), rng.uniform(0.0, area.height)};
+    g.insert(p);
+    pts.push_back(p);
+  }
+  for (int round = 0; round < 20; ++round) {
+    // Move a few points.
+    for (int m = 0; m < 10; ++m) {
+      const auto id = static_cast<std::uint32_t>(rng.uniform_int(0, 199));
+      const Vec2 p{rng.uniform(0.0, area.width), rng.uniform(0.0, area.height)};
+      g.update(id, p);
+      pts[id] = p;
+    }
+    const Vec2 c{rng.uniform(0.0, area.width), rng.uniform(0.0, area.height)};
+    const double radius = rng.uniform(10.0, 600.0);
+    const auto exclude = static_cast<std::uint32_t>(rng.uniform_int(0, 199));
+    std::vector<std::uint32_t> got;
+    g.query(c, radius, exclude, got);
+    std::vector<std::uint32_t> want;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      if (i != exclude && distance2(pts[i], c) <= radius * radius) want.push_back(i);
+    }
+    EXPECT_EQ(got, want) << "seed=" << GetParam() << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridProperty, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace manet

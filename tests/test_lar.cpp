@@ -1,0 +1,160 @@
+#include "routing/lar/lar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace manet {
+namespace {
+
+using test::TestNet;
+using test::line_positions;
+
+TestNet::ProtocolFactory lar_factory(lar::Config cfg = {}) {
+  return [cfg](Node& n, std::uint64_t seed) {
+    return std::make_unique<lar::Lar>(n, cfg, RngStream(seed, "routing", n.id()));
+  };
+}
+
+lar::Lar& as_lar(RoutingProtocol& rp) { return dynamic_cast<lar::Lar&>(rp); }
+
+TEST(LarZone, ContainsSourceAndExpectedDisc) {
+  const auto z = lar::request_zone({0.0, 0.0}, {500.0, 300.0}, 100.0);
+  EXPECT_FALSE(z.unrestricted);
+  EXPECT_TRUE(z.contains({0.0, 0.0}));       // source corner
+  EXPECT_TRUE(z.contains({600.0, 400.0}));   // disc top-right
+  EXPECT_TRUE(z.contains({400.0, 200.0}));   // disc bottom-left
+  EXPECT_TRUE(z.contains({300.0, 150.0}));   // interior
+  EXPECT_FALSE(z.contains({700.0, 300.0}));  // beyond the disc
+  EXPECT_FALSE(z.contains({-50.0, 0.0}));    // behind the source
+}
+
+TEST(LarZone, SourceAboveDestination) {
+  const auto z = lar::request_zone({500.0, 500.0}, {100.0, 100.0}, 50.0);
+  EXPECT_TRUE(z.contains({500.0, 500.0}));
+  EXPECT_TRUE(z.contains({50.0, 50.0}));
+  EXPECT_FALSE(z.contains({600.0, 500.0}));
+}
+
+TEST(LarZone, UnrestrictedContainsEverything) {
+  const lar::RequestZone z;  // default: unrestricted
+  EXPECT_TRUE(z.contains({1e9, -1e9}));
+}
+
+TEST(Lar, Name) {
+  TestNet net(line_positions(2), lar_factory());
+  EXPECT_STREQ(net.routing(0).name(), "LAR");
+}
+
+TEST(Lar, FirstDiscoveryFloodsAndDelivers) {
+  TestNet net(line_positions(5), lar_factory());
+  net.send_data(0, 4);
+  net.run_for(seconds(5));
+  EXPECT_EQ(net.stats().data_delivered(), 1u);
+  EXPECT_DOUBLE_EQ(net.stats().avg_hops(), 4.0);
+}
+
+TEST(Lar, LearnsLocationsFromDiscovery) {
+  TestNet net(line_positions(4), lar_factory());
+  net.send_data(0, 3);
+  net.run_for(seconds(3));
+  // Source learned the target's location from the RREP...
+  EXPECT_TRUE(as_lar(net.routing(0)).has_location_for(3));
+  // ...and intermediate/target nodes learned the origin's from the RREQ.
+  EXPECT_TRUE(as_lar(net.routing(3)).has_location_for(0));
+  EXPECT_TRUE(as_lar(net.routing(1)).has_location_for(0));
+}
+
+TEST(Lar, CachedRouteSkipsDiscovery) {
+  TestNet net(line_positions(3), lar_factory());
+  net.send_data(0, 2);
+  net.run_for(seconds(3));
+  const auto tx = net.stats().routing_tx();
+  net.send_data(0, 2, 0, 1);
+  net.run_for(seconds(2));
+  EXPECT_EQ(net.stats().data_delivered(), 2u);
+  EXPECT_EQ(net.stats().routing_tx(), tx);
+}
+
+TEST(Lar, ZoneLimitsRediscoveryFlood) {
+  // A straight-line corridor to the target plus a long out-of-the-way spur.
+  // After locations are known, a re-discovery's request zone excludes the
+  // spur nodes, so they must not rebroadcast.
+  std::vector<Vec2> pos = {{0.0, 0.0},   {200.0, 0.0}, {400.0, 0.0},
+                           {0.0, 200.0}, {0.0, 400.0}, {0.0, 600.0}};
+  lar::Config cfg;
+  cfg.route_lifetime = seconds(4);  // force a re-discovery quickly
+  cfg.min_expected_radius = 150.0;
+  std::uint64_t lar_tx = 0, flood_tx = 0;
+  {
+    TestNet net(pos, lar_factory(cfg));
+    net.send_data(0, 2);
+    net.run_for(seconds(6));           // route expires
+    net.send_data(0, 2, 0, 1);         // zone-limited re-discovery
+    net.run_for(seconds(4));
+    EXPECT_EQ(net.stats().data_delivered(), 2u);
+    lar_tx = net.stats().routing_tx();
+  }
+  {
+    // Same topology and schedule but with the zone effectively disabled
+    // (huge expected radius): the spur rebroadcasts both floods.
+    lar::Config wide = cfg;
+    wide.min_expected_radius = 10'000.0;
+    TestNet net(pos, lar_factory(wide));
+    net.send_data(0, 2);
+    net.run_for(seconds(6));
+    net.send_data(0, 2, 0, 1);
+    net.run_for(seconds(4));
+    EXPECT_EQ(net.stats().data_delivered(), 2u);
+    flood_tx = net.stats().routing_tx();
+  }
+  EXPECT_LT(lar_tx, flood_tx);
+}
+
+TEST(Lar, FallbackFloodReachesMovedTarget) {
+  // The target moves far outside its expected zone; the first zone-limited
+  // re-discovery fails but the fallback flood finds it via the diagonal
+  // chain 0-3-4 that the request zone excludes.
+  std::vector<Vec2> pos = {{0.0, 0.0}, {200.0, 0.0}, {400.0, 0.0},
+                           {170.0, 170.0}, {340.0, 340.0}};
+  lar::Config cfg;
+  cfg.route_lifetime = seconds(4);
+  cfg.min_expected_radius = 120.0;
+  cfg.assumed_v_max = 1.0;  // keep the zone tight despite location age
+  TestNet net(pos, lar_factory(cfg));
+  net.send_data(0, 2);
+  net.run_for(seconds(3));
+  ASSERT_EQ(net.stats().data_delivered(), 1u);
+  // Target teleports diagonally away, reachable only through node 4.
+  net.mobility(2).set_position({500.0, 500.0});
+  net.run_for(seconds(3));  // old route also expires
+  net.send_data(0, 2, 0, 1);
+  net.run_for(seconds(20));
+  EXPECT_EQ(net.stats().data_delivered(), 2u);
+}
+
+TEST(Lar, SourceReroutesAfterLinkFailure) {
+  std::vector<Vec2> pos = {{0.0, 0.0}, {200.0, 0.0}, {400.0, 0.0}, {200.0, 150.0}};
+  TestNet net(pos, lar_factory());
+  net.send_data(0, 2);
+  net.run_for(seconds(3));
+  ASSERT_EQ(net.stats().data_delivered(), 1u);
+  net.mobility(1).set_position({2500.0, 2500.0});
+  net.run_for(seconds(1));
+  net.send_data(0, 2, 0, 1);
+  net.run_for(seconds(20));
+  EXPECT_EQ(net.stats().data_delivered(), 2u);
+}
+
+TEST(Lar, UnreachableTargetGivesUp) {
+  TestNet net(line_positions(2), lar_factory());
+  net.send_data(0, 40);
+  net.run_for(seconds(120));
+  EXPECT_EQ(net.stats().data_delivered(), 0u);
+  EXPECT_GT(net.stats().drops(DropReason::kNoRoute) +
+                net.stats().drops(DropReason::kBufferTimeout),
+            0u);
+}
+
+}  // namespace
+}  // namespace manet

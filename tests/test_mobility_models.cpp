@@ -1,0 +1,147 @@
+// Tests for the extension mobility models (Gauss-Markov, Manhattan grid).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "core/rng.hpp"
+#include "mobility/gauss_markov.hpp"
+#include "mobility/manhattan.hpp"
+
+namespace manet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Gauss-Markov
+// ---------------------------------------------------------------------------
+
+GaussMarkovConfig gm_cfg() {
+  GaussMarkovConfig cfg;
+  cfg.area = {1000.0, 1000.0};
+  return cfg;
+}
+
+TEST(GaussMarkov, Reproducible) {
+  GaussMarkov a(gm_cfg(), RngStream(5, "mob", 1));
+  GaussMarkov b(gm_cfg(), RngStream(5, "mob", 1));
+  for (int i = 0; i <= 100; ++i) EXPECT_EQ(a.position_at(seconds(i)), b.position_at(seconds(i)));
+}
+
+TEST(GaussMarkov, Moves) {
+  GaussMarkov m(gm_cfg(), RngStream(6, "mob", 0));
+  EXPECT_GT(distance(m.position_at(SimTime::zero()), m.position_at(seconds(30))), 1.0);
+}
+
+class GaussMarkovProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GaussMarkovProperty, BoundedPositionAndSpeed) {
+  const auto cfg = gm_cfg();
+  GaussMarkov m(cfg, RngStream(GetParam(), "mob", 3));
+  Vec2 prev = m.position_at(SimTime::zero());
+  const SimTime step = milliseconds(200);
+  SimTime t = SimTime::zero();
+  for (int i = 0; i < 2000; ++i) {
+    t += step;
+    const Vec2 p = m.position_at(t);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, cfg.area.width);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, cfg.area.height);
+    EXPECT_LE(distance(prev, p) / step.sec(), cfg.max_speed * 1.0001);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaussMarkovProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(GaussMarkov, HighAlphaIsSmootherThanLowAlpha) {
+  // Temporal correlation: with alpha near 1 the heading barely changes per
+  // step; with alpha near 0 it jumps. Compare mean absolute heading change.
+  auto mean_turn = [](double alpha) {
+    GaussMarkovConfig cfg;
+    cfg.alpha = alpha;
+    GaussMarkov m(cfg, RngStream(9, "mob", 7));
+    double sum = 0.0;
+    Vec2 p0 = m.position_at(seconds(0));
+    Vec2 p1 = m.position_at(seconds(1));
+    double heading = std::atan2(p1.y - p0.y, p1.x - p0.x);
+    for (int i = 2; i < 400; ++i) {
+      const Vec2 p2 = m.position_at(seconds(i));
+      const double h = std::atan2(p2.y - p1.y, p2.x - p1.x);
+      double d = std::fabs(h - heading);
+      if (d > std::numbers::pi) d = 2 * std::numbers::pi - d;
+      sum += d;
+      heading = h;
+      p1 = p2;
+    }
+    return sum / 398.0;
+  };
+  EXPECT_LT(mean_turn(0.95), mean_turn(0.1));
+}
+
+// ---------------------------------------------------------------------------
+// Manhattan
+// ---------------------------------------------------------------------------
+
+ManhattanConfig mh_cfg() {
+  ManhattanConfig cfg;
+  cfg.area = {1000.0, 1000.0};
+  cfg.block = 200.0;
+  return cfg;
+}
+
+TEST(Manhattan, Reproducible) {
+  Manhattan a(mh_cfg(), RngStream(4, "mob", 2));
+  Manhattan b(mh_cfg(), RngStream(4, "mob", 2));
+  for (int i = 0; i <= 100; ++i) EXPECT_EQ(a.position_at(seconds(i)), b.position_at(seconds(i)));
+}
+
+class ManhattanProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ManhattanProperty, AlwaysOnAStreet) {
+  const auto cfg = mh_cfg();
+  Manhattan m(cfg, RngStream(GetParam(), "mob", 5));
+  for (int i = 0; i < 3000; ++i) {
+    const Vec2 p = m.position_at(milliseconds(250 * i));
+    // On a street: at least one coordinate is a multiple of the block size.
+    const double rx = std::fabs(std::remainder(p.x, cfg.block));
+    const double ry = std::fabs(std::remainder(p.y, cfg.block));
+    EXPECT_LT(std::min(rx, ry), 1e-6) << "off-street at (" << p.x << "," << p.y << ")";
+    EXPECT_GE(p.x, -1e-9);
+    EXPECT_LE(p.x, cfg.area.width + 1e-9);
+    EXPECT_GE(p.y, -1e-9);
+    EXPECT_LE(p.y, cfg.area.height + 1e-9);
+  }
+}
+
+TEST_P(ManhattanProperty, SpeedWithinBounds) {
+  const auto cfg = mh_cfg();
+  Manhattan m(cfg, RngStream(GetParam() + 50, "mob", 6));
+  Vec2 prev = m.position_at(SimTime::zero());
+  const SimTime step = milliseconds(100);
+  SimTime t = SimTime::zero();
+  for (int i = 0; i < 2000; ++i) {
+    t += step;
+    const Vec2 p = m.position_at(t);
+    // Straight-line displacement can only be <= v_max * dt (turning at an
+    // intersection inside the window shortens it).
+    EXPECT_LE(distance(prev, p) / step.sec(), cfg.v_max * std::sqrt(2.0) * 1.001);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ManhattanProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(Manhattan, VisitsMultipleIntersections) {
+  Manhattan m(mh_cfg(), RngStream(8, "mob", 1));
+  std::set<std::pair<long, long>> corners;
+  for (int i = 0; i < 600; ++i) {
+    const Vec2 p = m.position_at(seconds(i));
+    corners.insert({std::lround(p.x / 200.0), std::lround(p.y / 200.0)});
+  }
+  EXPECT_GT(corners.size(), 3u);
+}
+
+}  // namespace
+}  // namespace manet

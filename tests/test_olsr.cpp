@@ -1,0 +1,134 @@
+#include "routing/olsr/olsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace manet {
+namespace {
+
+using test::TestNet;
+using test::grid_positions;
+using test::line_positions;
+
+TestNet::ProtocolFactory olsr_factory(olsr::Config cfg = {}) {
+  return [cfg](Node& n, std::uint64_t seed) {
+    return std::make_unique<olsr::Olsr>(n, cfg, RngStream(seed, "routing", n.id()));
+  };
+}
+
+olsr::Olsr& as_olsr(RoutingProtocol& rp) { return dynamic_cast<olsr::Olsr&>(rp); }
+
+TEST(Olsr, Name) {
+  TestNet net(line_positions(2), olsr_factory());
+  EXPECT_STREQ(net.routing(0).name(), "OLSR");
+}
+
+TEST(Olsr, LinkSensingFindsSymmetricNeighbors) {
+  TestNet net(line_positions(3), olsr_factory());
+  net.run_for(seconds(6));  // a few HELLO rounds
+  EXPECT_EQ(as_olsr(net.routing(0)).sym_neighbors(), (std::vector<NodeId>{1}));
+  EXPECT_EQ(as_olsr(net.routing(1)).sym_neighbors(), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(Olsr, MiddleNodeBecomesMpr) {
+  TestNet net(line_positions(3), olsr_factory());
+  net.run_for(seconds(8));
+  EXPECT_EQ(as_olsr(net.routing(0)).mprs(), (std::vector<NodeId>{1}));
+  EXPECT_EQ(as_olsr(net.routing(2)).mprs(), (std::vector<NodeId>{1}));
+  const auto sel = as_olsr(net.routing(1)).mpr_selectors();
+  EXPECT_EQ(sel, (std::vector<NodeId>{0, 2}));
+}
+
+TEST(Olsr, RoutingTableReachesAllNodes) {
+  TestNet net(line_positions(5), olsr_factory());
+  net.run_for(seconds(15));  // HELLOs + TC propagation
+  auto& r0 = as_olsr(net.routing(0));
+  for (NodeId dst = 1; dst <= 4; ++dst) {
+    const auto nh = r0.next_hop_to(dst);
+    ASSERT_TRUE(nh.has_value()) << "dst=" << dst;
+    EXPECT_EQ(*nh, 1u);
+  }
+}
+
+TEST(Olsr, DeliversDataProactively) {
+  TestNet net(line_positions(4), olsr_factory());
+  net.run_for(seconds(15));
+  net.send_data(0, 3);
+  net.run_for(seconds(2));
+  EXPECT_EQ(net.stats().data_delivered(), 1u);
+  // Route was pre-computed: only forwarding latency.
+  EXPECT_LT(net.stats().avg_delay_s(), 0.1);
+}
+
+TEST(Olsr, NoRouteBeforeConvergence) {
+  TestNet net(line_positions(4), olsr_factory());
+  net.send_data(0, 3);
+  net.run_for(milliseconds(50));
+  EXPECT_EQ(net.stats().drops(DropReason::kNoRoute), 1u);
+}
+
+TEST(Olsr, ControlTrafficFlowsWithoutData) {
+  TestNet net(line_positions(4), olsr_factory());
+  net.run_for(seconds(20));
+  EXPECT_GT(net.stats().routing_tx(), 20u);  // HELLOs + TCs
+}
+
+TEST(Olsr, BrokenLinkExpiresFromTables) {
+  TestNet net(line_positions(3), olsr_factory());
+  net.run_for(seconds(10));
+  ASSERT_TRUE(as_olsr(net.routing(0)).next_hop_to(2).has_value());
+  net.mobility(2).set_position({3000.0, 3000.0});
+  // Staleness propagates in stages: node 1's link set holds node 2 for
+  // neighb_hold (6 s), during which its HELLOs keep advertising the dead
+  // link to node 0, whose 2-hop entry then needs its own hold to expire —
+  // ~12 s worst case plus TC refresh jitter.
+  net.run_for(seconds(10));
+  EXPECT_FALSE(as_olsr(net.routing(1)).next_hop_to(2).has_value());
+  net.run_for(seconds(10));
+  EXPECT_FALSE(as_olsr(net.routing(0)).next_hop_to(2).has_value());
+}
+
+TEST(Olsr, RejoinedNodeRelearned) {
+  TestNet net(line_positions(3), olsr_factory());
+  net.run_for(seconds(10));
+  net.mobility(2).set_position({3000.0, 3000.0});
+  net.run_for(seconds(10));
+  net.mobility(2).set_position({400.0, 50.0});
+  net.run_for(seconds(10));
+  EXPECT_TRUE(as_olsr(net.routing(0)).next_hop_to(2).has_value());
+  net.send_data(0, 2);
+  net.run_for(seconds(1));
+  EXPECT_EQ(net.stats().data_delivered(), 1u);
+}
+
+TEST(Olsr, GridRoutesAreShortest) {
+  TestNet net(grid_positions(3, 3), olsr_factory());
+  net.run_for(seconds(20));
+  // Corner to corner: 4 hops on the 4-neighbour grid.
+  net.send_data(0, 8);
+  net.run_for(seconds(1));
+  ASSERT_EQ(net.stats().data_delivered(), 1u);
+  EXPECT_DOUBLE_EQ(net.stats().avg_hops(), 4.0);
+}
+
+TEST(Olsr, MprFloodingCheaperThanClassic) {
+  // Compare TC forwarding cost with and without the MPR rule on a dense grid.
+  olsr::Config classic;
+  classic.mpr_flooding = false;
+  std::uint64_t mpr_tx = 0, classic_tx = 0;
+  {
+    TestNet net(grid_positions(4, 4, 150.0), olsr_factory());
+    net.run_for(seconds(30));
+    mpr_tx = net.stats().routing_tx();
+  }
+  {
+    TestNet net(grid_positions(4, 4, 150.0), olsr_factory(classic));
+    net.run_for(seconds(30));
+    classic_tx = net.stats().routing_tx();
+  }
+  EXPECT_LT(mpr_tx, classic_tx);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,117 @@
+#include "packet/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/aodv/aodv_messages.hpp"
+#include "routing/dsr/dsr_messages.hpp"
+
+namespace manet {
+namespace {
+
+TEST(Packet, FreshUidsAreUnique) {
+  Packet a, b;
+  EXPECT_NE(a.uid(), b.uid());
+}
+
+TEST(Packet, CopyPreservesUid) {
+  Packet a;
+  const Packet b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(a.uid(), b.uid());
+}
+
+TEST(Packet, CopyDeepCopiesRoutingPayload) {
+  Packet a;
+  auto rreq = std::make_unique<aodv::Rreq>();
+  rreq->dest = 7;
+  a.routing = std::move(rreq);
+  Packet b = a;
+  auto* pa = dynamic_cast<aodv::Rreq*>(a.routing.get());
+  auto* pb = dynamic_cast<aodv::Rreq*>(b.routing.get());
+  ASSERT_NE(pa, nullptr);
+  ASSERT_NE(pb, nullptr);
+  EXPECT_NE(pa, pb);  // distinct objects
+  pb->dest = 9;
+  EXPECT_EQ(pa->dest, 7u);  // original untouched
+}
+
+TEST(Packet, AssignmentDeepCopies) {
+  Packet a;
+  a.routing = std::make_unique<aodv::Rrep>();
+  Packet b;
+  b = a;
+  EXPECT_NE(a.routing.get(), b.routing.get());
+  EXPECT_NE(b.routing, nullptr);
+}
+
+TEST(Packet, SelfAssignmentSafe) {
+  Packet a;
+  a.routing = std::make_unique<aodv::Rreq>();
+  Packet& ref = a;
+  a = ref;
+  EXPECT_NE(a.routing, nullptr);
+}
+
+TEST(Packet, ControlFrameSizes) {
+  Packet p;
+  p.mac.type = MacFrameType::kRts;
+  EXPECT_EQ(p.size_bytes(), kMacRtsBytes);
+  p.mac.type = MacFrameType::kCts;
+  EXPECT_EQ(p.size_bytes(), kMacCtsBytes);
+  p.mac.type = MacFrameType::kAck;
+  EXPECT_EQ(p.size_bytes(), kMacAckBytes);
+}
+
+TEST(Packet, ArpFrameSize) {
+  Packet p;
+  p.kind = PacketKind::kArp;
+  EXPECT_EQ(p.size_bytes(), kMacDataHeaderBytes + kArpBytes);
+}
+
+TEST(Packet, DataFrameSizeIncludesAllLayers) {
+  Packet p;
+  p.kind = PacketKind::kData;
+  p.payload_bytes = 512;
+  EXPECT_EQ(p.size_bytes(),
+            kMacDataHeaderBytes + kIpHeaderBytes + kUdpHeaderBytes + 512);
+}
+
+TEST(Packet, DataFrameWithSourceRouteGrows) {
+  Packet p;
+  p.kind = PacketKind::kData;
+  p.payload_bytes = 512;
+  const std::size_t bare = p.size_bytes();
+  auto sr = std::make_unique<dsr::SourceRoute>();
+  sr->path = {0, 1, 2, 3, 4};  // three intermediate hops
+  p.routing = std::move(sr);
+  EXPECT_EQ(p.size_bytes(), bare + 4 + 4 + 4 * 3);
+}
+
+TEST(Packet, RoutingControlSize) {
+  Packet p;
+  p.kind = PacketKind::kRoutingControl;
+  auto rreq = std::make_unique<aodv::Rreq>();
+  const std::size_t body = rreq->size_bytes();
+  p.routing = std::move(rreq);
+  EXPECT_EQ(p.size_bytes(), kMacDataHeaderBytes + kIpHeaderBytes + body);
+}
+
+TEST(Payloads, AodvSizesMatchRfc) {
+  EXPECT_EQ(aodv::Rreq{}.size_bytes(), 24u);
+  EXPECT_EQ(aodv::Rrep{}.size_bytes(), 20u);
+  aodv::Rerr rerr;
+  rerr.unreachable.emplace_back(1, 2);
+  rerr.unreachable.emplace_back(3, 4);
+  EXPECT_EQ(rerr.size_bytes(), 4u + 16u);
+}
+
+TEST(Payloads, CloneIsPolymorphic) {
+  aodv::Rerr rerr;
+  rerr.unreachable.emplace_back(5, 6);
+  const std::unique_ptr<RoutingPayload> copy = rerr.clone();
+  auto* typed = dynamic_cast<aodv::Rerr*>(copy.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->unreachable.size(), 1u);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "mobility/static_mobility.hpp"
+#include "phy/channel.hpp"
+#include "phy/transceiver.hpp"
+
+namespace manet {
+namespace {
+
+/// Records everything the PHY reports upward.
+class RecordingListener : public PhyListener {
+ public:
+  void phy_busy_start() override { ++busy_starts; }
+  void phy_busy_end() override { ++busy_ends; }
+  void phy_rx(const Packet& f) override { frames.push_back(f); }
+
+  int busy_starts = 0;
+  int busy_ends = 0;
+  std::vector<Packet> frames;
+};
+
+/// N static transceivers on a channel, with recording listeners.
+struct PhyNet {
+  explicit PhyNet(const std::vector<Vec2>& positions, PhyConfig cfg = {}) {
+    channel = std::make_unique<Channel>(sim, cfg, Area{3000.0, 3000.0});
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      mobs.push_back(std::make_unique<StaticMobility>(positions[i]));
+      trx.push_back(std::make_unique<Transceiver>(sim, cfg, static_cast<NodeId>(i)));
+      listeners.push_back(std::make_unique<RecordingListener>());
+      trx.back()->set_listener(listeners.back().get());
+      channel->add(trx.back().get(), mobs.back().get());
+    }
+    channel->start();
+  }
+
+  Packet data_frame(NodeId src, NodeId dst, std::size_t payload = 100) {
+    Packet p;
+    p.kind = PacketKind::kData;
+    p.mac.type = MacFrameType::kData;
+    p.mac.src = src;
+    p.mac.dst = dst;
+    p.payload_bytes = payload;
+    return p;
+  }
+
+  Simulator sim;
+  std::unique_ptr<Channel> channel;
+  std::vector<std::unique_ptr<StaticMobility>> mobs;
+  std::vector<std::unique_ptr<Transceiver>> trx;
+  std::vector<std::unique_ptr<RecordingListener>> listeners;
+};
+
+TEST(Phy, AirtimeMath) {
+  PhyConfig cfg;  // 2 Mbit/s, 192 us preamble
+  // 500 bytes = 4000 bits = 2 ms at 2 Mbit/s, plus preamble.
+  EXPECT_EQ(cfg.airtime(500), microseconds(192) + milliseconds(2));
+}
+
+TEST(Phy, PropagationDelay) {
+  PhyConfig cfg;
+  EXPECT_EQ(cfg.propagation(300.0), microseconds(1));
+  EXPECT_GT(cfg.max_propagation(), SimTime::zero());
+}
+
+TEST(Phy, InRangeReceiverGetsFrame) {
+  PhyNet net({{0.0, 0.0}, {200.0, 0.0}});
+  net.trx[0]->transmit(net.data_frame(0, 1));
+  net.sim.run_until(net.sim.now() + seconds(30));
+  ASSERT_EQ(net.listeners[1]->frames.size(), 1u);
+  EXPECT_EQ(net.listeners[1]->frames[0].mac.src, 0u);
+}
+
+TEST(Phy, CarrierOnlyBetweenRxAndCsRange) {
+  PhyNet net({{0.0, 0.0}, {400.0, 0.0}});  // 400 m: beyond 250, inside 550
+  net.trx[0]->transmit(net.data_frame(0, 1));
+  net.sim.run_until(net.sim.now() + seconds(30));
+  EXPECT_TRUE(net.listeners[1]->frames.empty());
+  EXPECT_EQ(net.listeners[1]->busy_starts, 1);
+  EXPECT_EQ(net.listeners[1]->busy_ends, 1);
+}
+
+TEST(Phy, BeyondCsRangeHearsNothing) {
+  PhyNet net({{0.0, 0.0}, {600.0, 0.0}});
+  net.trx[0]->transmit(net.data_frame(0, 1));
+  net.sim.run_until(net.sim.now() + seconds(30));
+  EXPECT_TRUE(net.listeners[1]->frames.empty());
+  EXPECT_EQ(net.listeners[1]->busy_starts, 0);
+}
+
+TEST(Phy, SenderSelfBusyDuringTransmit) {
+  PhyNet net({{0.0, 0.0}, {200.0, 0.0}});
+  EXPECT_FALSE(net.trx[0]->medium_busy());
+  net.trx[0]->transmit(net.data_frame(0, 1));
+  EXPECT_TRUE(net.trx[0]->medium_busy());
+  EXPECT_TRUE(net.trx[0]->transmitting());
+  net.sim.run_until(net.sim.now() + seconds(30));
+  EXPECT_FALSE(net.trx[0]->medium_busy());
+}
+
+TEST(Phy, FrameArrivesAfterPropagationDelay) {
+  PhyNet net({{0.0, 0.0}, {240.0, 0.0}});  // 0.8 us propagation, within range
+  const SimTime air = net.trx[0]->transmit(net.data_frame(0, 1));
+  // The frame completes at air + 0.8 us at the receiver.
+  net.sim.run_until(air);
+  EXPECT_TRUE(net.listeners[1]->frames.empty());
+  net.sim.run_until(air + microseconds(2));
+  EXPECT_EQ(net.listeners[1]->frames.size(), 1u);
+}
+
+TEST(Phy, OverlappingTransmissionsCollideAtReceiver) {
+  // 0 and 2 both in range of 1 but out of range of each other.
+  PhyNet net({{0.0, 0.0}, {240.0, 0.0}, {480.0, 0.0}});
+  net.trx[0]->transmit(net.data_frame(0, 1));
+  net.trx[2]->transmit(net.data_frame(2, 1));
+  net.sim.run_until(net.sim.now() + seconds(30));
+  EXPECT_TRUE(net.listeners[1]->frames.empty());
+  EXPECT_EQ(net.trx[1]->frames_corrupted(), 2u);
+}
+
+TEST(Phy, StaggeredNonOverlappingFramesBothArrive) {
+  PhyNet net({{0.0, 0.0}, {240.0, 0.0}, {480.0, 0.0}});
+  net.trx[0]->transmit(net.data_frame(0, 1, 50));
+  const SimTime gap = net.channel->config().airtime(50 + kMacDataHeaderBytes +
+                                                    kIpHeaderBytes + kUdpHeaderBytes) +
+                      milliseconds(1);
+  net.sim.schedule(gap, [&] { net.trx[2]->transmit(net.data_frame(2, 1, 50)); });
+  net.sim.run_until(net.sim.now() + seconds(30));
+  EXPECT_EQ(net.listeners[1]->frames.size(), 2u);
+}
+
+TEST(Phy, HalfDuplexReceiverLosesFrameWhileTransmitting) {
+  PhyNet net({{0.0, 0.0}, {200.0, 0.0}});
+  net.trx[0]->transmit(net.data_frame(0, 1, 200));
+  // Node 1 starts its own transmission while 0's frame is in flight.
+  net.sim.schedule(microseconds(50), [&] { net.trx[1]->transmit(net.data_frame(1, 0, 10)); });
+  net.sim.run_until(net.sim.now() + seconds(30));
+  EXPECT_TRUE(net.listeners[1]->frames.empty());
+  EXPECT_EQ(net.trx[1]->frames_corrupted(), 1u);
+  // Node 0 also loses 1's frame: it was transmitting when it started arriving.
+  EXPECT_TRUE(net.listeners[0]->frames.empty());
+}
+
+TEST(Phy, InterferenceFromCarrierOnlyCorruptsFrame) {
+  // 1 receives from 0 (in range); 2 is at 500 m from 1 — carrier only —
+  // and transmits concurrently, destroying the frame.
+  PhyNet net({{0.0, 0.0}, {240.0, 0.0}, {740.0, 0.0}});
+  net.trx[0]->transmit(net.data_frame(0, 1));
+  net.trx[2]->transmit(net.data_frame(2, kBroadcast));
+  net.sim.run_until(net.sim.now() + seconds(30));
+  EXPECT_TRUE(net.listeners[1]->frames.empty());
+}
+
+TEST(Phy, BroadcastReachesAllInRange) {
+  PhyNet net({{0.0, 0.0}, {200.0, 0.0}, {0.0, 200.0}, {2000.0, 2000.0}});
+  net.trx[0]->transmit(net.data_frame(0, kBroadcast));
+  net.sim.run_until(net.sim.now() + seconds(30));
+  EXPECT_EQ(net.listeners[1]->frames.size(), 1u);
+  EXPECT_EQ(net.listeners[2]->frames.size(), 1u);
+  EXPECT_TRUE(net.listeners[3]->frames.empty());
+}
+
+TEST(Phy, NeighborsOfUsesExactPositions) {
+  PhyNet net({{0.0, 0.0}, {249.0, 0.0}, {251.0, 0.0}});
+  const auto nbrs = net.channel->neighbors_of(0, 250.0);
+  EXPECT_EQ(nbrs, (std::vector<NodeId>{1}));
+}
+
+TEST(Phy, MovingNodeChangesConnectivity) {
+  PhyNet net({{0.0, 0.0}, {200.0, 0.0}});
+  net.mobs[1]->set_position({1000.0, 1000.0});
+  net.sim.run_until(seconds(1));  // allow a refresh
+  net.trx[0]->transmit(net.data_frame(0, 1));
+  net.sim.run_until(net.sim.now() + seconds(30));
+  EXPECT_TRUE(net.listeners[1]->frames.empty());
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,143 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace manet {
+namespace {
+
+TEST(Rng, Deterministic) {
+  RngStream a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  RngStream a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NamedStreamsAreIndependent) {
+  RngStream a(7, "mobility", 0), b(7, "traffic", 0), c(7, "mobility", 1);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, NamedStreamsReproducible) {
+  RngStream a(7, "mac", 3), b(7, "mac", 3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  RngStream r(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndRange) {
+  RngStream r(6);
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = r.uniform(10.0, 20.0);
+    EXPECT_GE(u, 10.0);
+    EXPECT_LT(u, 20.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000.0, 15.0, 0.05);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  RngStream r(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit in 1000 draws
+}
+
+TEST(Rng, UniformIntSingleton) {
+  RngStream r(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  RngStream r(10);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntIsUnbiased) {
+  // Chi-square-ish check over a small range.
+  RngStream r(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[r.uniform_int(0, kBuckets - 1)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 400);  // ~4 sigma
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  RngStream r(12);
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = r.exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100'000.0, 2.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  RngStream r(13);
+  double sum = 0.0, ss = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = r.normal(5.0, 3.0);
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = ss / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes) {
+  RngStream r(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, WorksWithStdShuffleConcept) {
+  static_assert(RngStream::min() == 0);
+  static_assert(RngStream::max() == ~0ULL);
+  RngStream r(15);
+  EXPECT_NE(r(), r());
+}
+
+TEST(Rng, Fnv1aStable) {
+  // Hash must be stable across runs: stream derivation depends on it.
+  EXPECT_EQ(fnv1a("mobility"), fnv1a("mobility"));
+  EXPECT_NE(fnv1a("mobility"), fnv1a("traffic"));
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,132 @@
+#include "routing/shortest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace manet {
+namespace {
+
+AdjacencyMap line(int n) {
+  AdjacencyMap adj;
+  for (int i = 0; i + 1 < n; ++i) {
+    adj[static_cast<NodeId>(i)].push_back(static_cast<NodeId>(i + 1));
+    adj[static_cast<NodeId>(i + 1)].push_back(static_cast<NodeId>(i));
+  }
+  return adj;
+}
+
+TEST(ShortestPath, EmptyGraph) {
+  const auto res = shortest_paths(0, {});
+  EXPECT_TRUE(res.next_hop.empty());
+  EXPECT_TRUE(res.dist.empty());
+}
+
+TEST(ShortestPath, LineDistances) {
+  const auto res = shortest_paths(0, line(5));
+  EXPECT_EQ(res.dist.at(1), 1u);
+  EXPECT_EQ(res.dist.at(4), 4u);
+  EXPECT_EQ(res.next_hop.at(4), 1u);
+  EXPECT_EQ(res.next_hop.at(1), 1u);
+}
+
+TEST(ShortestPath, SelfExcluded) {
+  const auto res = shortest_paths(0, line(3));
+  EXPECT_FALSE(res.dist.contains(0));
+  EXPECT_FALSE(res.next_hop.contains(0));
+}
+
+TEST(ShortestPath, DisconnectedUnreached) {
+  AdjacencyMap adj = line(3);
+  adj[10].push_back(11);
+  adj[11].push_back(10);
+  const auto res = shortest_paths(0, adj);
+  EXPECT_FALSE(res.dist.contains(10));
+  EXPECT_FALSE(res.next_hop.contains(11));
+}
+
+TEST(ShortestPath, PrefersShorterRoute) {
+  // 0-1-2-3 and 0-4-3: the 2-hop route via 4 wins.
+  AdjacencyMap adj;
+  auto link = [&](NodeId a, NodeId b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  link(0, 1);
+  link(1, 2);
+  link(2, 3);
+  link(0, 4);
+  link(4, 3);
+  const auto res = shortest_paths(0, adj);
+  EXPECT_EQ(res.dist.at(3), 2u);
+  EXPECT_EQ(res.next_hop.at(3), 4u);
+}
+
+TEST(ShortestPath, DeterministicTieBreak) {
+  // Two equal-length routes to 3 via 1 or 2: the smaller first hop wins.
+  AdjacencyMap adj;
+  auto link = [&](NodeId a, NodeId b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  link(0, 2);
+  link(0, 1);
+  link(1, 3);
+  link(2, 3);
+  for (int i = 0; i < 5; ++i) {
+    const auto res = shortest_paths(0, adj);
+    EXPECT_EQ(res.next_hop.at(3), 1u);
+  }
+}
+
+TEST(ShortestPath, RespectsEdgeDirection) {
+  AdjacencyMap adj;
+  adj[0].push_back(1);  // one-way
+  const auto res = shortest_paths(1, adj);
+  EXPECT_FALSE(res.dist.contains(0));
+}
+
+// Property: next hops are consistent — following them reaches the target in
+// exactly dist steps.
+class SpfProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpfProperty, NextHopsLeadHome) {
+  RngStream rng(GetParam());
+  AdjacencyMap adj;
+  constexpr int kN = 40;
+  for (int e = 0; e < 100; ++e) {
+    const auto a = static_cast<NodeId>(rng.uniform_int(0, kN - 1));
+    const auto b = static_cast<NodeId>(rng.uniform_int(0, kN - 1));
+    if (a == b) continue;
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  const auto res = shortest_paths(0, adj);
+  for (const auto& [dst, d] : res.dist) {
+    // Walk from 0 following next hops recomputed at each node.
+    NodeId cur = 0;
+    std::uint32_t steps = 0;
+    while (cur != dst && steps <= d) {
+      const auto local = shortest_paths(cur, adj);
+      ASSERT_TRUE(local.next_hop.contains(dst));
+      // One step towards dst: distance strictly decreases.
+      const NodeId nh = local.next_hop.at(dst);
+      if (nh == dst) {
+        cur = dst;
+      } else {
+        const auto from_nh = shortest_paths(nh, adj);
+        ASSERT_TRUE(from_nh.dist.contains(dst));
+        EXPECT_LT(from_nh.dist.at(dst), local.dist.at(dst));
+        cur = nh;
+      }
+      ++steps;
+    }
+    EXPECT_EQ(cur, dst);
+    EXPECT_EQ(steps, d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpfProperty, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,79 @@
+#include "core/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manet {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+  EXPECT_EQ(SimTime::zero().ns(), 0);
+}
+
+TEST(SimTime, UnitConstructors) {
+  EXPECT_EQ(nanoseconds(7).ns(), 7);
+  EXPECT_EQ(microseconds(3).ns(), 3'000);
+  EXPECT_EQ(milliseconds(2).ns(), 2'000'000);
+  EXPECT_EQ(seconds(5).ns(), 5'000'000'000);
+}
+
+TEST(SimTime, FractionalSecondsRoundsToNearest) {
+  EXPECT_EQ(seconds_f(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(seconds_f(0.25).ns(), 250'000'000);
+  EXPECT_EQ(seconds_f(1e-9).ns(), 1);
+  EXPECT_EQ(seconds_f(1.49e-9).ns(), 1);   // rounds down
+  EXPECT_EQ(seconds_f(1.51e-9).ns(), 2);   // rounds up
+  EXPECT_EQ(seconds_f(-1.5).ns(), -1'500'000'000);
+}
+
+TEST(SimTime, Conversions) {
+  const SimTime t = milliseconds(1500);
+  EXPECT_DOUBLE_EQ(t.sec(), 1.5);
+  EXPECT_DOUBLE_EQ(t.ms(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.us(), 1'500'000.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = seconds(2);
+  const SimTime b = milliseconds(500);
+  EXPECT_EQ((a + b).ns(), 2'500'000'000);
+  EXPECT_EQ((a - b).ns(), 1'500'000'000);
+  EXPECT_EQ((b * 4).ns(), seconds(2).ns());
+  EXPECT_EQ((4 * b).ns(), seconds(2).ns());
+  EXPECT_EQ(a / b, 4);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = seconds(1);
+  t += milliseconds(250);
+  EXPECT_EQ(t.ns(), 1'250'000'000);
+  t -= milliseconds(250);
+  EXPECT_EQ(t, seconds(1));
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(milliseconds(1), seconds(1));
+  EXPECT_GT(seconds(1), microseconds(999'999));
+  EXPECT_LE(seconds(1), seconds(1));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_NE(seconds(1), milliseconds(1001));
+}
+
+TEST(SimTime, MaxIsLargerThanAnyScenario) {
+  EXPECT_GT(SimTime::max(), seconds(100LL * 365 * 24 * 3600));
+}
+
+TEST(SimTime, NegativeDurationsBehave) {
+  const SimTime d = milliseconds(1) - milliseconds(3);
+  EXPECT_EQ(d.ns(), -2'000'000);
+  EXPECT_LT(d, SimTime::zero());
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_NE(to_string(seconds(2)).find('s'), std::string::npos);
+  EXPECT_NE(to_string(milliseconds(5)).find("ms"), std::string::npos);
+  EXPECT_NE(to_string(microseconds(7)).find("us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manet
