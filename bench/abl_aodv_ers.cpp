@@ -5,20 +5,18 @@
 
 int main(int argc, char** argv) {
   using namespace manet;
+  bench::Suite suite("abl_aodv_ers");
   for (const bool ers : {true, false}) {
     for (const double vmax : {5.0, 20.0}) {
       char name[64];
       std::snprintf(name, sizeof name, "AODV/ers:%s/vmax:%g", ers ? "on" : "off", vmax);
-      benchmark::RegisterBenchmark(name, [ers, vmax](benchmark::State& state) {
-        ScenarioConfig cfg;
-        cfg.protocol = Protocol::kAodv;
-        cfg.seed = 1;
-        cfg.v_max = vmax;
-        cfg.aodv.expanding_ring = ers;
-        bench::run_cell(state, cfg, bench::Metric::kAll);
-      })->Unit(benchmark::kMillisecond)->Iterations(1);
+      ScenarioConfig cfg;
+      cfg.protocol = Protocol::kAodv;
+      cfg.seed = 1;
+      cfg.v_max = vmax;
+      cfg.aodv.expanding_ring = ers;
+      suite.add(name, cfg);
     }
   }
-  return bench::run_main(argc, argv,
-                         "Ablation — AODV expanding-ring search on vs off (50 nodes)");
+  return suite.run(argc, argv, "Ablation — AODV expanding-ring search on vs off (50 nodes)");
 }

@@ -5,21 +5,19 @@
 
 int main(int argc, char** argv) {
   using namespace manet;
+  bench::Suite suite("abl_dsr_cache");
   for (const bool cache : {true, false}) {
     for (const double vmax : {1.0, 10.0, 20.0}) {
       char name[64];
       std::snprintf(name, sizeof name, "DSR/cache_reply:%s/vmax:%g", cache ? "on" : "off",
                     vmax);
-      benchmark::RegisterBenchmark(name, [cache, vmax](benchmark::State& state) {
-        ScenarioConfig cfg;
-        cfg.protocol = Protocol::kDsr;
-        cfg.seed = 1;
-        cfg.v_max = vmax;
-        cfg.dsr.intermediate_reply = cache;
-        bench::run_cell(state, cfg, bench::Metric::kAll);
-      })->Unit(benchmark::kMillisecond)->Iterations(1);
+      ScenarioConfig cfg;
+      cfg.protocol = Protocol::kDsr;
+      cfg.seed = 1;
+      cfg.v_max = vmax;
+      cfg.dsr.intermediate_reply = cache;
+      suite.add(name, cfg);
     }
   }
-  return bench::run_main(argc, argv,
-                         "Ablation — DSR cache replies on vs off (50 nodes)");
+  return suite.run(argc, argv, "Ablation — DSR cache replies on vs off (50 nodes)");
 }

@@ -5,19 +5,18 @@
 
 int main(int argc, char** argv) {
   using namespace manet;
+  bench::Suite suite("abl_ifq");
   for (const Protocol p : {Protocol::kAodv, Protocol::kOlsr}) {
     for (const double depth : {5.0, 20.0, 50.0, 200.0}) {
       char name[64];
       std::snprintf(name, sizeof name, "%s/ifq:%g", to_string(p), depth);
-      benchmark::RegisterBenchmark(name, [p, depth](benchmark::State& state) {
-        ScenarioConfig cfg;
-        cfg.protocol = p;
-        cfg.seed = 1;
-        cfg.v_max = 10.0;
-        cfg.mac.ifq_capacity = static_cast<std::size_t>(depth);
-        bench::run_cell(state, cfg, bench::Metric::kAll);
-      })->Unit(benchmark::kMillisecond)->Iterations(1);
+      ScenarioConfig cfg;
+      cfg.protocol = p;
+      cfg.seed = 1;
+      cfg.v_max = 10.0;
+      cfg.mac.ifq_capacity = static_cast<std::size_t>(depth);
+      suite.add(name, cfg);
     }
   }
-  return bench::run_main(argc, argv, "Ablation — interface queue depth (50 nodes, v_max 10)");
+  return suite.run(argc, argv, "Ablation — interface queue depth (50 nodes, v_max 10)");
 }

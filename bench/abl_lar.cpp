@@ -6,10 +6,9 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  manet::bench::register_sweep({manet::Protocol::kLar, manet::Protocol::kDsr,
-                                manet::Protocol::kAodv},
-                               "vmax", {1, 10, 20}, manet::bench::Metric::kAll,
-                               manet::bench::mobility_cell);
-  return manet::bench::run_main(
-      argc, argv, "Extension — LAR vs DSR vs AODV (all metrics, 50 nodes)");
+  manet::bench::Suite suite("abl_lar");
+  suite.add_sweep({manet::Protocol::kLar, manet::Protocol::kDsr,
+                  manet::Protocol::kAodv}, "vmax", {1, 10, 20},
+                  manet::bench::Metric::kAll, manet::bench::mobility_cell);
+  return suite.run(argc, argv, "Extension — LAR vs DSR vs AODV (all metrics, 50 nodes)");
 }

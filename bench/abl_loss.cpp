@@ -6,20 +6,18 @@
 
 int main(int argc, char** argv) {
   using namespace manet;
+  bench::Suite suite("abl_loss");
   for (const Protocol p : {Protocol::kAodv, Protocol::kDsr, Protocol::kOlsr}) {
     for (const double loss : {0.0, 0.05, 0.15, 0.3}) {
       char name[64];
       std::snprintf(name, sizeof name, "%s/loss:%g", to_string(p), loss);
-      benchmark::RegisterBenchmark(name, [p, loss](benchmark::State& state) {
-        ScenarioConfig cfg;
-        cfg.protocol = p;
-        cfg.seed = 1;
-        cfg.v_max = 10.0;
-        cfg.phy.frame_loss_rate = loss;
-        bench::run_cell(state, cfg, bench::Metric::kAll);
-      })->Unit(benchmark::kMillisecond)->Iterations(1);
+      ScenarioConfig cfg;
+      cfg.protocol = p;
+      cfg.seed = 1;
+      cfg.v_max = 10.0;
+      cfg.phy.frame_loss_rate = loss;
+      suite.add(name, cfg);
     }
   }
-  return bench::run_main(argc, argv,
-                         "Ablation — per-frame loss rate (50 nodes, v_max 10 m/s)");
+  return suite.run(argc, argv, "Ablation — per-frame loss rate (50 nodes, v_max 10 m/s)");
 }

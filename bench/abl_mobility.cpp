@@ -5,6 +5,7 @@
 
 int main(int argc, char** argv) {
   using namespace manet;
+  bench::Suite suite("abl_mobility");
   const std::pair<MobilityKind, const char*> kinds[] = {
       {MobilityKind::kRandomWaypoint, "waypoint"},
       {MobilityKind::kRandomWalk, "walk"},
@@ -13,17 +14,13 @@ int main(int argc, char** argv) {
   };
   for (const Protocol p : {Protocol::kAodv, Protocol::kDsr, Protocol::kOlsr}) {
     for (const auto& [kind, label] : kinds) {
-      std::string name = std::string(to_string(p)) + "/" + label;
-      benchmark::RegisterBenchmark(name.c_str(), [p, kind = kind](benchmark::State& state) {
-        ScenarioConfig cfg;
-        cfg.protocol = p;
-        cfg.seed = 1;
-        cfg.mobility = kind;
-        cfg.v_max = 10.0;
-        bench::run_cell(state, cfg, bench::Metric::kAll);
-      })->Unit(benchmark::kMillisecond)->Iterations(1);
+      ScenarioConfig cfg;
+      cfg.protocol = p;
+      cfg.seed = 1;
+      cfg.mobility = kind;
+      cfg.v_max = 10.0;
+      suite.add(std::string(to_string(p)) + "/" + label, cfg);
     }
   }
-  return bench::run_main(argc, argv,
-                         "Extension — mobility models x protocols (50 nodes, v_max 10)");
+  return suite.run(argc, argv, "Extension — mobility models x protocols (50 nodes, v_max 10)");
 }

@@ -5,21 +5,20 @@
 
 int main(int argc, char** argv) {
   using namespace manet;
+  bench::Suite suite("abl_olsr_mpr");
   for (const bool mpr : {true, false}) {
     for (const double nodes : {30.0, 50.0, 70.0}) {
       char name[64];
       std::snprintf(name, sizeof name, "OLSR/mpr:%s/nodes:%g", mpr ? "on" : "off", nodes);
-      benchmark::RegisterBenchmark(name, [mpr, nodes](benchmark::State& state) {
-        ScenarioConfig cfg;
-        cfg.protocol = Protocol::kOlsr;
-        cfg.seed = 1;
-        cfg.num_nodes = static_cast<std::uint32_t>(nodes);
-        cfg.v_max = 10.0;
-        cfg.olsr.mpr_flooding = mpr;
-        bench::run_cell(state, cfg, bench::Metric::kAll);
-      })->Unit(benchmark::kMillisecond)->Iterations(1);
+      ScenarioConfig cfg;
+      cfg.protocol = Protocol::kOlsr;
+      cfg.seed = 1;
+      cfg.num_nodes = static_cast<std::uint32_t>(nodes);
+      cfg.v_max = 10.0;
+      cfg.olsr.mpr_flooding = mpr;
+      suite.add(name, cfg);
     }
   }
-  return bench::run_main(
-      argc, argv, "Ablation — OLSR MPR flooding vs classic flooding (v_max 10 m/s)");
+  return suite.run(argc, argv,
+                   "Ablation — OLSR MPR flooding vs classic flooding (v_max 10 m/s)");
 }

@@ -6,19 +6,16 @@
 
 int main(int argc, char** argv) {
   using namespace manet;
+  bench::Suite suite("abl_rtscts");
   for (const Protocol p : {Protocol::kAodv, Protocol::kDsr, Protocol::kOlsr}) {
     for (const bool rts : {true, false}) {
-      std::string name = std::string(to_string(p)) + (rts ? "/rtscts:on" : "/rtscts:off");
-      benchmark::RegisterBenchmark(name.c_str(), [p, rts](benchmark::State& state) {
-        ScenarioConfig cfg;
-        cfg.protocol = p;
-        cfg.seed = 1;
-        cfg.v_max = 10.0;
-        cfg.mac.use_rts = rts;
-        bench::run_cell(state, cfg, bench::Metric::kAll);
-      })->Unit(benchmark::kMillisecond)->Iterations(1);
+      ScenarioConfig cfg;
+      cfg.protocol = p;
+      cfg.seed = 1;
+      cfg.v_max = 10.0;
+      cfg.mac.use_rts = rts;
+      suite.add(std::string(to_string(p)) + (rts ? "/rtscts:on" : "/rtscts:off"), cfg);
     }
   }
-  return bench::run_main(argc, argv,
-                         "Ablation — RTS/CTS on vs off (50 nodes, v_max 10 m/s)");
+  return suite.run(argc, argv, "Ablation — RTS/CTS on vs off (50 nodes, v_max 10 m/s)");
 }

@@ -5,10 +5,9 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  manet::bench::register_sweep({manet::Protocol::kTora, manet::Protocol::kAodv,
-                                manet::Protocol::kDsr},
-                               "vmax", {1, 10, 20}, manet::bench::Metric::kAll,
-                               manet::bench::mobility_cell);
-  return manet::bench::run_main(argc, argv,
-                                "Extension — TORA vs AODV vs DSR (all metrics, 50 nodes)");
+  manet::bench::Suite suite("abl_tora");
+  suite.add_sweep({manet::Protocol::kTora, manet::Protocol::kAodv,
+                  manet::Protocol::kDsr}, "vmax", {1, 10, 20},
+                  manet::bench::Metric::kAll, manet::bench::mobility_cell);
+  return suite.run(argc, argv, "Extension — TORA vs AODV vs DSR (all metrics, 50 nodes)");
 }

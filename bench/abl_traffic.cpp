@@ -6,23 +6,19 @@
 
 int main(int argc, char** argv) {
   using namespace manet;
+  bench::Suite suite("abl_traffic");
   for (const Protocol p : {Protocol::kAodv, Protocol::kDsr, Protocol::kOlsr}) {
     for (const TrafficKind t : {TrafficKind::kCbr, TrafficKind::kOnOff}) {
-      std::string name = std::string(to_string(p)) +
-                         (t == TrafficKind::kCbr ? "/cbr" : "/onoff");
-      benchmark::RegisterBenchmark(name.c_str(), [p, t](benchmark::State& state) {
-        ScenarioConfig cfg;
-        cfg.protocol = p;
-        cfg.seed = 1;
-        cfg.v_max = 10.0;
-        cfg.traffic = t;
-        // ON/OFF sends ~half the time; double the connections to keep the
-        // average offered load comparable with the CBR column.
-        if (t == TrafficKind::kOnOff) cfg.num_connections = 20;
-        bench::run_cell(state, cfg, bench::Metric::kAll);
-      })->Unit(benchmark::kMillisecond)->Iterations(1);
+      ScenarioConfig cfg;
+      cfg.protocol = p;
+      cfg.seed = 1;
+      cfg.v_max = 10.0;
+      cfg.traffic = t;
+      // ON/OFF sends ~half the time; double the connections to keep the
+      // average offered load comparable with the CBR column.
+      if (t == TrafficKind::kOnOff) cfg.num_connections = 20;
+      suite.add(std::string(to_string(p)) + (t == TrafficKind::kCbr ? "/cbr" : "/onoff"), cfg);
     }
   }
-  return bench::run_main(argc, argv,
-                         "Extension — CBR vs exponential ON/OFF traffic (50 nodes)");
+  return suite.run(argc, argv, "Extension — CBR vs exponential ON/OFF traffic (50 nodes)");
 }

@@ -1,14 +1,22 @@
 // Shared machinery for the figure/table benches.
 //
-// Each bench binary regenerates one table or figure of the evaluation: it
-// registers one google-benchmark per (protocol, x-value) cell, runs the cell
-// as a multi-seed experiment, and reports the figure's metric (mean and
-// standard error) as benchmark counters — the printed rows are the figure's
-// series. Fidelity/wall-clock knobs come from the environment:
+// Each bench binary regenerates one table or figure of the evaluation. A
+// Suite collects every (protocol, x-value) cell of the figure up front, runs
+// the whole grid through SweepRunner on one shared worker pool (sweep-level
+// parallelism: wall-clock ~ total_replications / cores), then reports each
+// cell as a google-benchmark row — the printed rows are the figure's series,
+// with the cell's measured wall-clock as the (manual) time. After the table,
+// the suite writes machine-readable artifacts:
 //
-//   MANET_BENCH_SEEDS     replications per cell (default 2)
-//   MANET_BENCH_DURATION  simulated seconds     (default: per-figure config)
-//   MANET_BENCH_THREADS   worker threads        (default: hw concurrency)
+//   results/<bench>.json   per-cell metrics + per-replication profiling
+//   results/<bench>.csv    one row per cell, columns from the metric table
+//
+// Fidelity/wall-clock knobs come from the environment (parsed by BenchEnv):
+//
+//   MANET_BENCH_SEEDS        replications per cell (default 2)
+//   MANET_BENCH_DURATION     simulated seconds     (default: per-figure config)
+//   MANET_BENCH_THREADS      worker threads        (default: hw concurrency)
+//   MANET_BENCH_RESULTS_DIR  artifact directory    (default: results)
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -16,16 +24,20 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "scenario/experiment.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
 
 namespace manet::bench {
 
 enum class Metric { kPdr, kDelay, kNrl, kNml, kThroughput, kAll };
 
-inline void report(benchmark::State& state, const Aggregate& a, Metric m) {
+/// Report one finished cell as benchmark counters.
+inline void report(benchmark::State& state, const SweepCellResult& cell, Metric m) {
+  const Aggregate& a = cell.aggregate;
   auto set = [&](const char* name, const manet::Metric& v) {
     state.counters[name] = v.mean;
     state.counters[std::string(name) + "_se"] = v.se;
@@ -46,38 +58,78 @@ inline void report(benchmark::State& state, const Aggregate& a, Metric m) {
       break;
   }
   state.counters["seeds"] = a.replications;
+  state.counters["ev_per_s"] = cell.events_per_sec;
 }
 
-/// Run one figure cell: a multi-seed experiment under the env knobs.
-inline void run_cell(benchmark::State& state, ScenarioConfig cfg, Metric m,
-                     int default_seeds = 2) {
-  const ExperimentRunner runner = ExperimentRunner::from_env(default_seeds);
-  ExperimentRunner::apply_env_duration(cfg);
-  Aggregate agg;
-  for (auto _ : state) {
-    agg = runner.run(cfg);
+/// One bench binary = one Suite: labeled cells accumulated by main(), then
+/// executed as a single sweep and rendered as benchmark rows + artifacts.
+class Suite {
+ public:
+  /// `name` keys the artifact files (results/<name>.json / .csv).
+  explicit Suite(std::string name, int default_seeds = 2)
+      : name_(std::move(name)), default_seeds_(default_seeds) {}
+
+  void add(std::string label, ScenarioConfig cfg, Metric metric = Metric::kAll) {
+    cells_.push_back(SweepCell{std::move(label), std::move(cfg)});
+    metrics_.push_back(metric);
   }
-  report(state, agg, m);
-}
 
-/// Register a (protocol x value) sweep. `make_cfg` builds the cell config.
-inline void register_sweep(
-    const std::vector<Protocol>& protocols, const char* param, const std::vector<double>& values,
-    Metric metric, const std::function<ScenarioConfig(Protocol, double)>& make_cfg) {
-  for (const Protocol p : protocols) {
-    for (const double v : values) {
-      std::string name = std::string(to_string(p)) + "/" + param + ":";
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%g", v);
-      name += buf;
-      benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& state) {
-                    run_cell(state, make_cfg(p, v), metric);
-                  })
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
+  /// Register a (protocol × value) sweep. `make_cfg` builds the cell config.
+  void add_sweep(const std::vector<Protocol>& protocols, const char* param,
+                 const std::vector<double>& values, Metric metric,
+                 const std::function<ScenarioConfig(Protocol, double)>& make_cfg) {
+    for (const Protocol p : protocols) {
+      for (const double v : values) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%g", v);
+        add(std::string(to_string(p)) + "/" + param + ":" + buf, make_cfg(p, v), metric);
+      }
     }
   }
-}
+
+  /// Run the whole grid on one pool, print the rows, write the artifacts.
+  int run(int argc, char** argv, const char* banner) {
+    std::printf("%s\n", banner);
+    const BenchEnv env = BenchEnv::parse(default_seeds_);
+    for (SweepCell& c : cells_) env.apply_duration(c.config);
+
+    const SweepRunner runner(env.seeds, env.threads);
+    SweepResult sweep = runner.run(cells_);
+    sweep.name = name_;
+
+    for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+      const SweepCellResult& cell = sweep.cells[i];
+      const Metric metric = metrics_[i];
+      benchmark::RegisterBenchmark(cell.label.c_str(),
+                                   [&cell, metric](benchmark::State& state) {
+                                     for (auto _ : state) state.SetIterationTime(cell.wall_s);
+                                     report(state, cell, metric);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    const std::string json_path = env.results_dir + "/" + name_ + ".json";
+    const std::string csv_path = env.results_dir + "/" + name_ + ".csv";
+    const bool json_ok = sweep.write_json(json_path);
+    const bool ok = sweep.write_csv(csv_path) && json_ok;
+    std::printf("\nsweep: %zu cells x %d seeds on %u threads in %.2f s (%.0f events/s)\n",
+                sweep.cells.size(), sweep.seeds_per_cell, sweep.threads, sweep.wall_s,
+                sweep.events_per_sec);
+    if (ok) std::printf("artifacts: %s %s\n", json_path.c_str(), csv_path.c_str());
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  int default_seeds_;
+  std::vector<SweepCell> cells_;
+  std::vector<Metric> metrics_;
+};
 
 inline const std::vector<Protocol> kAll = {Protocol::kAodv, Protocol::kDsr, Protocol::kCbrp,
                                            Protocol::kDsdv, Protocol::kOlsr};
@@ -133,14 +185,6 @@ inline ScenarioConfig sources_cell(Protocol p, double sources) {
   cfg.v_max = 10.0;
   cfg.num_connections = static_cast<std::uint32_t>(sources);
   return cfg;
-}
-
-inline int run_main(int argc, char** argv, const char* banner) {
-  std::printf("%s\n", banner);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
 }
 
 }  // namespace manet::bench

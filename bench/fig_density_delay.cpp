@@ -4,8 +4,8 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  manet::bench::register_sweep(manet::bench::kAll, "nodes", {30, 50, 70, 90},
-                               manet::bench::Metric::kDelay, manet::bench::density_cell);
-  return manet::bench::run_main(
-      argc, argv, "Fig 6 — Average end-to-end delay vs density (delay_ms, v_max 10 m/s)");
+  manet::bench::Suite suite("fig_density_delay");
+  suite.add_sweep(manet::bench::kAll, "nodes", {30, 50, 70, 90},
+                  manet::bench::Metric::kDelay, manet::bench::density_cell);
+  return suite.run(argc, argv, "Fig 6 — Average end-to-end delay vs density (delay_ms, v_max 10 m/s)");
 }

@@ -4,8 +4,8 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  manet::bench::register_sweep(manet::bench::kAll, "nodes", {30, 50, 70, 90},
-                               manet::bench::Metric::kNrl, manet::bench::density_cell);
-  return manet::bench::run_main(
-      argc, argv, "Fig 7 — Normalized routing load vs density (nrl, v_max 10 m/s)");
+  manet::bench::Suite suite("fig_density_nrl");
+  suite.add_sweep(manet::bench::kAll, "nodes", {30, 50, 70, 90},
+                  manet::bench::Metric::kNrl, manet::bench::density_cell);
+  return suite.run(argc, argv, "Fig 7 — Normalized routing load vs density (nrl, v_max 10 m/s)");
 }

@@ -5,8 +5,8 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  manet::bench::register_sweep(manet::bench::kAll, "vmax", {0, 1, 5, 10, 20},
-                               manet::bench::Metric::kDelay, manet::bench::mobility_cell);
-  return manet::bench::run_main(
-      argc, argv, "Fig 2 — Average end-to-end delay vs mobility (delay_ms, 50 nodes)");
+  manet::bench::Suite suite("fig_mobility_delay");
+  suite.add_sweep(manet::bench::kAll, "vmax", {0, 1, 5, 10, 20},
+                  manet::bench::Metric::kDelay, manet::bench::mobility_cell);
+  return suite.run(argc, argv, "Fig 2 — Average end-to-end delay vs mobility (delay_ms, 50 nodes)");
 }

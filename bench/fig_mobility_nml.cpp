@@ -4,8 +4,8 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  manet::bench::register_sweep(manet::bench::kAll, "vmax", {0, 1, 5, 10, 20},
-                               manet::bench::Metric::kNml, manet::bench::mobility_cell);
-  return manet::bench::run_main(
-      argc, argv, "Fig 4 — Normalized MAC load vs mobility (nml, 50 nodes)");
+  manet::bench::Suite suite("fig_mobility_nml");
+  suite.add_sweep(manet::bench::kAll, "vmax", {0, 1, 5, 10, 20},
+                  manet::bench::Metric::kNml, manet::bench::mobility_cell);
+  return suite.run(argc, argv, "Fig 4 — Normalized MAC load vs mobility (nml, 50 nodes)");
 }

@@ -4,8 +4,8 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  manet::bench::register_sweep(manet::bench::kAll, "vmax", {0, 1, 5, 10, 20},
-                               manet::bench::Metric::kPdr, manet::bench::mobility_cell);
-  return manet::bench::run_main(
-      argc, argv, "Fig 1 — Packet delivery ratio vs mobility (pdr_pct, 50 nodes, 1000x1000 m)");
+  manet::bench::Suite suite("fig_mobility_pdr");
+  suite.add_sweep(manet::bench::kAll, "vmax", {0, 1, 5, 10, 20},
+                  manet::bench::Metric::kPdr, manet::bench::mobility_cell);
+  return suite.run(argc, argv, "Fig 1 — Packet delivery ratio vs mobility (pdr_pct, 50 nodes, 1000x1000 m)");
 }

@@ -4,9 +4,8 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  manet::bench::register_sweep(manet::bench::kReactiveTrio, "pause",
-                               {0, 30, 60, 120}, manet::bench::Metric::kNrl,
-                               manet::bench::pause_cell);
-  return manet::bench::run_main(
-      argc, argv, "Fig 11 — Routing overhead vs pause time (nrl, AODV/DSR/CBRP, 40 nodes)");
+  manet::bench::Suite suite("fig_pause_overhead");
+  suite.add_sweep(manet::bench::kReactiveTrio, "pause", {0, 30, 60, 120},
+                  manet::bench::Metric::kNrl, manet::bench::pause_cell);
+  return suite.run(argc, argv, "Fig 11 — Routing overhead vs pause time (nrl, AODV/DSR/CBRP, 40 nodes)");
 }

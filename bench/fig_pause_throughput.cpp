@@ -5,10 +5,8 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  manet::bench::register_sweep(manet::bench::kReactiveTrio, "pause",
-                               {0, 30, 60, 120}, manet::bench::Metric::kThroughput,
-                               manet::bench::pause_cell);
-  return manet::bench::run_main(
-      argc, argv,
-      "Fig 9 — Throughput vs pause time (kbps, AODV/DSR/CBRP, 40 nodes, 1500x300 m)");
+  manet::bench::Suite suite("fig_pause_throughput");
+  suite.add_sweep(manet::bench::kReactiveTrio, "pause", {0, 30, 60, 120},
+                  manet::bench::Metric::kThroughput, manet::bench::pause_cell);
+  return suite.run(argc, argv, "Fig 9 — Throughput vs pause time (kbps, AODV/DSR/CBRP, 40 nodes, 1500x300 m)");
 }

@@ -4,9 +4,8 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  manet::bench::register_sweep(manet::bench::kReactiveTrio, "sources",
-                               {5, 10, 20, 30}, manet::bench::Metric::kDelay,
-                               manet::bench::sources_cell);
-  return manet::bench::run_main(
-      argc, argv, "Fig 13 — Delay vs offered load (delay_ms, AODV/DSR/CBRP, 40 nodes)");
+  manet::bench::Suite suite("fig_sources_delay");
+  suite.add_sweep(manet::bench::kReactiveTrio, "sources", {5, 10, 20, 30},
+                  manet::bench::Metric::kDelay, manet::bench::sources_cell);
+  return suite.run(argc, argv, "Fig 13 — Delay vs offered load (delay_ms, AODV/DSR/CBRP, 40 nodes)");
 }

@@ -5,9 +5,8 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  manet::bench::register_sweep(manet::bench::kReactiveTrio, "sources",
-                               {5, 10, 20, 30}, manet::bench::Metric::kThroughput,
-                               manet::bench::sources_cell);
-  return manet::bench::run_main(
-      argc, argv, "Fig 12 — Throughput vs offered load (kbps, AODV/DSR/CBRP, 40 nodes)");
+  manet::bench::Suite suite("fig_sources_throughput");
+  suite.add_sweep(manet::bench::kReactiveTrio, "sources", {5, 10, 20, 30},
+                  manet::bench::Metric::kThroughput, manet::bench::sources_cell);
+  return suite.run(argc, argv, "Fig 12 — Throughput vs offered load (kbps, AODV/DSR/CBRP, 40 nodes)");
 }

@@ -1,24 +1,15 @@
 // Table I: the simulation parameters, printed exactly as configured, plus a
-// tiny one-cell benchmark confirming a default scenario runs.
+// tiny one-cell sweep confirming a default scenario runs.
 #include "bench_common.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  const manet::ScenarioConfig defaults;
+  std::printf("Table I — Simulation parameters\n\n%s\n", defaults.parameter_table().c_str());
 
-void TableOne(benchmark::State& state) {
+  manet::bench::Suite suite("tab_parameters", /*default_seeds=*/1);
   manet::ScenarioConfig cfg;
   cfg.num_nodes = 20;  // smoke-sized sanity cell
   cfg.duration = manet::seconds(20);
-  manet::bench::run_cell(state, cfg, manet::bench::Metric::kAll, /*default_seeds=*/1);
-}
-BENCHMARK(TableOne)->Unit(benchmark::kMillisecond)->Iterations(1);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  const manet::ScenarioConfig cfg;
-  std::printf("Table I — Simulation parameters\n\n%s\n", cfg.parameter_table().c_str());
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  suite.add("TableOne", cfg);
+  return suite.run(argc, argv, "");
 }

@@ -3,15 +3,14 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
+  manet::bench::Suite suite("tab_summary");
   for (const manet::Protocol p : manet::bench::kAll) {
-    benchmark::RegisterBenchmark(manet::to_string(p), [p](benchmark::State& state) {
-      manet::ScenarioConfig cfg;
-      cfg.protocol = p;
-      cfg.seed = 1;
-      manet::bench::run_cell(state, cfg, manet::bench::Metric::kAll);
-    })->Unit(benchmark::kMillisecond)->Iterations(1);
+    manet::ScenarioConfig cfg;
+    cfg.protocol = p;
+    cfg.seed = 1;
+    suite.add(manet::to_string(p), cfg);
   }
-  return manet::bench::run_main(
+  return suite.run(
       argc, argv,
       "Table II — Summary: all metrics per protocol (Table-I defaults: 50 nodes, v_max 20)");
 }

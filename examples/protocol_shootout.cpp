@@ -1,40 +1,56 @@
-// Protocol shootout: run all five routing protocols on the *same* random
+// Protocol shootout: run all seven routing protocols on the *same* random
 // scenario (identical mobility and traffic, thanks to named RNG streams) and
 // print a side-by-side comparison — a one-command mini version of the
-// paper's whole evaluation.
+// paper's whole evaluation. The (protocol × seed) grid runs as one sweep on
+// a shared worker pool, and a JSON artifact lands in results/.
 //
 //   ./build/examples/protocol_shootout [nodes] [vmax] [seeds]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "scenario/experiment.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace manet;
 
-  ScenarioConfig cfg;
-  cfg.num_nodes = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 50;
-  cfg.v_max = argc > 2 ? std::atof(argv[2]) : 10.0;
+  ScenarioConfig base;
+  base.num_nodes = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 50;
+  base.v_max = argc > 2 ? std::atof(argv[2]) : 10.0;
   const int seeds = argc > 3 ? std::atoi(argv[3]) : 3;
-  cfg.duration = seconds(120);
-  cfg.seed = 1000;
+  base.duration = seconds(120);
+  base.seed = 1000;
+
+  std::vector<SweepCell> cells;
+  for (const Protocol p : kAllProtocols) {
+    ScenarioConfig cfg = base;
+    cfg.protocol = p;
+    cells.push_back({to_string(p), cfg});
+  }
 
   std::printf("protocol shootout: %u nodes, v_max %.0f m/s, %d seeds, %.0f s each\n\n",
-              cfg.num_nodes, cfg.v_max, seeds, cfg.duration.sec());
+              base.num_nodes, base.v_max, seeds, base.duration.sec());
+
+  const SweepRunner runner(seeds);
+  SweepResult sweep = runner.run(cells);
+  sweep.name = "protocol_shootout";
+
   std::printf("%-6s | %8s | %10s | %8s | %8s | %12s\n", "proto", "PDR %", "delay ms",
               "NRL", "NML", "kbit/s");
   std::printf("-------+----------+------------+----------+----------+-------------\n");
-
-  ExperimentRunner runner(seeds);
-  for (const Protocol p : kAllProtocols) {
-    cfg.protocol = p;
-    const Aggregate a = runner.run(cfg);
-    std::printf("%-6s | %8.1f | %10.2f | %8.2f | %8.2f | %12.1f\n", to_string(p),
+  for (const SweepCellResult& cell : sweep.cells) {
+    const Aggregate& a = cell.aggregate;
+    std::printf("%-6s | %8.1f | %10.2f | %8.2f | %8.2f | %12.1f\n", cell.label.c_str(),
                 a.pdr.mean * 100.0, a.delay_ms.mean, a.nrl.mean, a.nml.mean,
                 a.throughput_kbps.mean);
   }
   std::printf("\nSame seed => identical mobility & traffic for every protocol.\n");
+  std::printf("%zu cells x %d seeds on %u threads: %.2f s wall, %.0f events/s\n",
+              sweep.cells.size(), sweep.seeds_per_cell, sweep.threads, sweep.wall_s,
+              sweep.events_per_sec);
+  if (sweep.write_json("results/protocol_shootout.json")) {
+    std::printf("artifact: results/protocol_shootout.json\n");
+  }
   return 0;
 }

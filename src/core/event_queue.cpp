@@ -12,6 +12,7 @@ EventId EventQueue::schedule(SimTime at, Callback cb) {
   heap_.push_back(Entry{at, next_seq_++, id, std::move(cb)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_.insert(id);
+  if (pending_.size() > peak_size_) peak_size_ = pending_.size();
   return id;
 }
 

@@ -43,6 +43,10 @@ class EventQueue {
   /// Number of live events.
   [[nodiscard]] std::size_t size() const { return pending_.size(); }
 
+  /// High-water mark of live events over the queue's lifetime (survives
+  /// clear()). Profiling hook: sweep artifacts report it per replication.
+  [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
+
   /// Time of the earliest live event. Precondition: !empty().
   [[nodiscard]] SimTime next_time();
 
@@ -77,6 +81,7 @@ class EventQueue {
   std::unordered_set<EventId> pending_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;  // 0 is kInvalidEventId
+  std::size_t peak_size_ = 0;
 };
 
 }  // namespace manet

@@ -51,6 +51,9 @@ class Simulator {
   /// Number of pending events.
   [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
 
+  /// High-water mark of pending events over the run (profiling).
+  [[nodiscard]] std::size_t peak_queue_size() const { return queue_.peak_size(); }
+
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::zero();

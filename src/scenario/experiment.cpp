@@ -1,16 +1,35 @@
 #include "scenario/experiment.hpp"
 
-#include <atomic>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
-#include <thread>
 
 #include "core/assert.hpp"
+#include "scenario/sweep.hpp"
 
 namespace manet {
 
 namespace {
+
+/// Strictly parse env var `name` as a long in [min, max]. Unset/empty keeps
+/// the fallback silently; garbage or out-of-range keeps it with a warning.
+[[nodiscard]] long env_long_checked(const char* name, long fallback, long min, long max) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || parsed < min || parsed > max) {
+    std::fprintf(stderr, "manetsim: ignoring %s=\"%s\" (want integer in [%ld, %ld])\n", name, v,
+                 min, max);
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace
 
 Metric aggregate_metric(const std::vector<double>& xs) {
   Metric m;
@@ -27,73 +46,51 @@ Metric aggregate_metric(const std::vector<double>& xs) {
   return m;
 }
 
-[[nodiscard]] long env_long(const char* name, long fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::strtol(v, nullptr, 10);
+Aggregate aggregate_results(const std::vector<ScenarioResult>& results) {
+  Aggregate agg;
+  std::vector<double> xs(results.size());
+  for (const MetricDef& d : kMetricDefs) {
+    for (std::size_t i = 0; i < results.size(); ++i) xs[i] = results[i].*(d.sample);
+    agg.*(d.agg) = aggregate_metric(xs);
+  }
+  for (const ScenarioResult& r : results) agg.total_events += r.events;
+  agg.replications = static_cast<int>(results.size());
+  return agg;
 }
 
-}  // namespace
+BenchEnv BenchEnv::parse(int default_seeds) {
+  BenchEnv env;
+  env.seeds =
+      static_cast<int>(env_long_checked("MANET_BENCH_SEEDS", default_seeds, 1, 100000));
+  env.threads = static_cast<unsigned>(env_long_checked("MANET_BENCH_THREADS", 0, 0, 4096));
+  env.duration_s = env_long_checked("MANET_BENCH_DURATION", 0, 0, 1000000);
+  if (const char* dir = std::getenv("MANET_BENCH_RESULTS_DIR"); dir != nullptr && *dir != '\0') {
+    env.results_dir = dir;
+  }
+  return env;
+}
+
+void BenchEnv::apply_duration(ScenarioConfig& cfg) const {
+  if (duration_s > 0) cfg.duration = seconds(duration_s);
+}
 
 ExperimentRunner::ExperimentRunner(int seeds, unsigned threads)
     : seeds_(seeds), threads_(threads) {
   MANET_EXPECTS(seeds >= 1);
-  if (threads_ == 0) threads_ = std::max(1u, std::thread::hardware_concurrency());
 }
 
 ExperimentRunner ExperimentRunner::from_env(int default_seeds) {
-  const int seeds = static_cast<int>(env_long("MANET_BENCH_SEEDS", default_seeds));
-  const auto threads = static_cast<unsigned>(env_long("MANET_BENCH_THREADS", 0));
-  return ExperimentRunner(std::max(1, seeds), threads);
+  const BenchEnv env = BenchEnv::parse(default_seeds);
+  return ExperimentRunner(env.seeds, env.threads);
 }
 
 void ExperimentRunner::apply_env_duration(ScenarioConfig& cfg) {
-  const long secs = env_long("MANET_BENCH_DURATION", 0);
-  if (secs > 0) cfg.duration = seconds(secs);
+  BenchEnv::parse().apply_duration(cfg);
 }
 
 Aggregate ExperimentRunner::run(const ScenarioConfig& base) const {
-  std::vector<ScenarioResult> results(static_cast<std::size_t>(seeds_));
-  std::atomic<int> next{0};
-
-  auto worker = [&] {
-    for (;;) {
-      const int k = next.fetch_add(1);
-      if (k >= seeds_) return;
-      ScenarioConfig cfg = base;
-      cfg.seed = base.seed + static_cast<std::uint64_t>(k);
-      results[static_cast<std::size_t>(k)] = Scenario::run_once(cfg);
-    }
-  };
-
-  const unsigned nthreads = std::min<unsigned>(threads_, static_cast<unsigned>(seeds_));
-  if (nthreads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(nthreads);
-    for (unsigned t = 0; t < nthreads; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
-
-  auto collect = [&](auto proj) {
-    std::vector<double> xs;
-    xs.reserve(results.size());
-    for (const auto& r : results) xs.push_back(proj(r));
-    return aggregate_metric(xs);
-  };
-
-  Aggregate agg;
-  agg.pdr = collect([](const ScenarioResult& r) { return r.pdr; });
-  agg.delay_ms = collect([](const ScenarioResult& r) { return r.delay_ms; });
-  agg.nrl = collect([](const ScenarioResult& r) { return r.nrl; });
-  agg.nml = collect([](const ScenarioResult& r) { return r.nml; });
-  agg.throughput_kbps = collect([](const ScenarioResult& r) { return r.throughput_kbps; });
-  agg.avg_hops = collect([](const ScenarioResult& r) { return r.avg_hops; });
-  agg.connectivity = collect([](const ScenarioResult& r) { return r.connectivity; });
-  for (const auto& r : results) agg.total_events += r.events;
-  agg.replications = seeds_;
-  return agg;
+  const SweepRunner sweep(seeds_, threads_);
+  return sweep.run({SweepCell{"cell", base}}).cells.front().aggregate;
 }
 
 std::string format_metric(const Metric& m, int precision) {

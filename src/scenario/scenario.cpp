@@ -237,6 +237,7 @@ ScenarioResult Scenario::run() {
   r.routing_tx = stats_.routing_tx();
   r.mac_ctrl_tx = stats_.mac_ctrl_tx();
   r.events = sim_.events_executed();
+  r.peak_queue_depth = sim_.peak_queue_size();
   return r;
 }
 

@@ -131,6 +131,8 @@ struct ScenarioResult {
   std::uint64_t routing_tx = 0;
   std::uint64_t mac_ctrl_tx = 0;
   std::uint64_t events = 0;
+  /// High-water mark of the event queue during the run (profiling).
+  std::size_t peak_queue_depth = 0;
 };
 
 class Scenario {
