@@ -4,7 +4,7 @@
 // requested number of replications (in parallel) and prints mean ± standard
 // error for every metric.
 //
-//   ./build/examples/simulate --protocol olsr --nodes 70 --vmax 15 \
+//   ./build/examples/simulate --protocol olsr --nodes 70 --vmax 15 [...]
 //       --duration 150 --connections 10 --seeds 5
 //   ./build/examples/simulate --help
 

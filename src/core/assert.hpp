@@ -2,8 +2,20 @@
 // Expects()/Ensures(). Enabled in all build types: simulation bugs must fail
 // loudly, not corrupt statistics silently. The cost is negligible next to the
 // event-queue work.
+//
+// Two tiers:
+//   * MANET_EXPECTS / MANET_ENSURES / MANET_ASSERT — bare condition checks.
+//   * MANET_EXPECTS_MSG / MANET_ENSURES_MSG / MANET_ASSERT_MSG — same, plus a
+//     printf-style context line. Protocol invariants use these to report the
+//     node id, sim-time, and the violated values, so a post-mortem does not
+//     start from a bare expression string. Example:
+//
+//       MANET_ASSERT_MSG(seq_newer(new_seq, old_seq),
+//                        "node %u t=%lldns dst=%u: dest_seq moved backwards "
+//                        "%u -> %u", node, now_ns, dst, old_seq, new_seq);
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -12,6 +24,22 @@ namespace manet::detail {
 [[noreturn]] inline void contract_failure(const char* kind, const char* expr, const char* file,
                                           int line) {
   std::fprintf(stderr, "manetsim: %s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 5, 6)))
+#endif
+[[noreturn]] inline void
+contract_failure_msg(const char* kind, const char* expr, const char* file, int line,
+                     const char* fmt, ...) {
+  std::fprintf(stderr, "manetsim: %s violated: (%s) at %s:%d\n  context: ", kind, expr, file,
+               line);
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
   std::abort();
 }
 
@@ -28,3 +56,18 @@ namespace manet::detail {
 #define MANET_ASSERT(cond)                                                         \
   ((cond) ? static_cast<void>(0)                                                   \
           : ::manet::detail::contract_failure("invariant", #cond, __FILE__, __LINE__))
+
+#define MANET_EXPECTS_MSG(cond, ...)                                               \
+  ((cond) ? static_cast<void>(0)                                                   \
+          : ::manet::detail::contract_failure_msg("precondition", #cond, __FILE__, \
+                                                  __LINE__, __VA_ARGS__))
+
+#define MANET_ENSURES_MSG(cond, ...)                                                \
+  ((cond) ? static_cast<void>(0)                                                    \
+          : ::manet::detail::contract_failure_msg("postcondition", #cond, __FILE__, \
+                                                  __LINE__, __VA_ARGS__))
+
+#define MANET_ASSERT_MSG(cond, ...)                                             \
+  ((cond) ? static_cast<void>(0)                                                \
+          : ::manet::detail::contract_failure_msg("invariant", #cond, __FILE__, \
+                                                  __LINE__, __VA_ARGS__))

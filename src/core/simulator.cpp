@@ -5,12 +5,14 @@
 namespace manet {
 
 EventId Simulator::schedule(SimTime delay, EventQueue::Callback cb) {
-  MANET_EXPECTS(delay >= SimTime::zero());
+  MANET_EXPECTS_MSG(delay >= SimTime::zero(), "t=%lldns: negative delay %lldns — the past is immutable",
+                    static_cast<long long>(now_.ns()), static_cast<long long>(delay.ns()));
   return queue_.schedule(now_ + delay, std::move(cb));
 }
 
 EventId Simulator::schedule_at(SimTime at, EventQueue::Callback cb) {
-  MANET_EXPECTS(at >= now_);
+  MANET_EXPECTS_MSG(at >= now_, "schedule_at(%lldns) is in the past (now=%lldns)",
+                    static_cast<long long>(at.ns()), static_cast<long long>(now_.ns()));
   return queue_.schedule(at, std::move(cb));
 }
 
@@ -20,7 +22,9 @@ std::uint64_t Simulator::run_until(SimTime until) {
   while (!queue_.empty() && !stopped_) {
     if (queue_.next_time() > until) break;
     auto ev = queue_.pop();
-    MANET_ASSERT(ev.time >= now_);
+    // Executive invariant: simulated time never moves backwards.
+    MANET_ASSERT_MSG(ev.time >= now_, "event-queue time moved backwards: popped t=%lldns at now=%lldns",
+                     static_cast<long long>(ev.time.ns()), static_cast<long long>(now_.ns()));
     now_ = ev.time;
     ev.cb();
     ++ran;

@@ -21,8 +21,8 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <optional>
-#include <unordered_map>
 
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
@@ -125,7 +125,9 @@ class WifiMac final : public PhyListener {
   EventId timeout_ev_ = kInvalidEventId;
 
   std::uint16_t tx_seq_ = 0;
-  std::unordered_map<NodeId, std::uint16_t> rx_last_seq_;
+  // Ordered (keyed-only today): duplicate-filter state must never expose
+  // hash order if someone later iterates it for stats or expiry.
+  std::map<NodeId, std::uint16_t> rx_last_seq_;
 };
 
 }  // namespace manet

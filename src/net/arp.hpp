@@ -11,7 +11,7 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
+#include <map>
 
 #include "core/simulator.hpp"
 #include "mac/wifi_mac.hpp"
@@ -60,8 +60,10 @@ class Arp {
   WifiMac& mac_;
   StatsCollector& stats_;
   FailureHandler on_failure_;
-  std::unordered_map<NodeId, NodeId> cache_;     // net addr -> MAC addr
-  std::unordered_map<NodeId, Pending> pending_;  // awaiting resolution
+  // Ordered so any future sweep over these tables (timeout audits, cache
+  // dumps) is deterministic by construction; today both are keyed-only.
+  std::map<NodeId, NodeId> cache_;     // net addr -> MAC addr
+  std::map<NodeId, Pending> pending_;  // awaiting resolution
 };
 
 }  // namespace manet

@@ -163,6 +163,8 @@ void Aodv::touch_neighbor(NodeId nbr) {
 bool Aodv::update_route(NodeId dst, std::uint32_t seq, bool valid_seq, std::uint8_t hops,
                         NodeId next_hop, SimTime lifetime) {
   Route& rt = routes_[dst];
+  const bool had_valid_seq = rt.valid_seq;
+  const std::uint32_t prev_seq = rt.dest_seq;
   const bool fresher = !rt.valid_seq || seq_newer(seq, rt.dest_seq) ||
                        (seq == rt.dest_seq && (!rt.valid || hops < rt.hops));
   if (!fresher && valid_seq) return false;
@@ -173,6 +175,11 @@ bool Aodv::update_route(NodeId dst, std::uint32_t seq, bool valid_seq, std::uint
   rt.next_hop = next_hop;
   rt.valid = true;
   rt.expires = std::max(rt.expires, node_.sim().now() + lifetime);
+  // §6.1: a known destination sequence number only ever moves forward —
+  // accepting an older one would re-animate stale routes and loop packets.
+  MANET_ENSURES_MSG(!had_valid_seq || !seq_newer(prev_seq, rt.dest_seq),
+                    "node %u t=%lldns dst=%u: dest_seq moved backwards %u -> %u", node_.id(),
+                    static_cast<long long>(node_.sim().now().ns()), dst, prev_seq, rt.dest_seq);
   return true;
 }
 

@@ -16,6 +16,7 @@
 // Omitted (noted in DESIGN.md): gratuitous RREPs, local repair, multicast.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -119,12 +120,15 @@ class Aodv final : public RoutingProtocol {
 
   std::uint32_t seq_ = 0;       // own sequence number
   std::uint32_t rreq_id_ = 0;   // own RREQ id counter
-  std::unordered_map<NodeId, Route> routes_;
+  /// Ordered map: invalidate_routes_via() and periodic_purge() walk the table
+  /// while emitting RERRs, so iteration order reaches the event queue.
+  std::map<NodeId, Route> routes_;
   std::unordered_map<NodeId, Discovery> discovering_;
   /// Seen RREQ (origin, id) pairs with expiry, for duplicate suppression.
   std::unordered_map<std::uint64_t, SimTime> rreq_seen_;
-  /// Last HELLO heard per neighbour (only when use_hello).
-  std::unordered_map<NodeId, SimTime> hello_heard_;
+  /// Last HELLO heard per neighbour (only when use_hello). Ordered map:
+  /// periodic_purge() broadcasts one RERR per silent neighbour in table order.
+  std::map<NodeId, SimTime> hello_heard_;
 };
 
 }  // namespace manet::aodv

@@ -74,6 +74,21 @@ void Cbrp::update_role() {
                                        : kBroadcast;
   }
   gateway_ = role_ == Role::kMember && is_gateway(head_, nbrs);
+
+  // Cluster-role consistency after every transition: a head heads itself, a
+  // member joined some *other* existing head, an undecided node has none, and
+  // only members can bridge clusters as gateways.
+  const long long now_ns = node_.sim().now().ns();
+  MANET_ASSERT_MSG(role_ != Role::kHead || head_ == node_.id(),
+                   "node %u t=%lldns: HEAD role but head_=%u", node_.id(), now_ns, head_);
+  MANET_ASSERT_MSG(role_ != Role::kMember || (head_ != node_.id() && head_ != kBroadcast),
+                   "node %u t=%lldns: MEMBER role with invalid head_=%u", node_.id(), now_ns,
+                   head_);
+  MANET_ASSERT_MSG(role_ != Role::kUndecided || head_ == kBroadcast,
+                   "node %u t=%lldns: UNDECIDED role but head_=%u", node_.id(), now_ns, head_);
+  MANET_ASSERT_MSG(!gateway_ || role_ == Role::kMember,
+                   "node %u t=%lldns: gateway flag outside MEMBER role (role=%d)", node_.id(),
+                   now_ns, static_cast<int>(role_));
 }
 
 void Cbrp::send_hello() {

@@ -20,6 +20,7 @@
 //   * a per-source route table built from replies, plus a send buffer.
 #pragma once
 
+#include <map>
 #include <unordered_map>
 
 #include "net/node.hpp"
@@ -110,8 +111,11 @@ class Cbrp final : public RoutingProtocol {
   int contested_rounds_ = 0;
   int hello_rounds_ = 0;
 
-  std::unordered_map<NodeId, Neighbor> neighbors_;
-  std::unordered_map<NodeId, CachedRoute> route_table_;
+  // Ordered: the neighbour table is iterated when building HELLOs and when
+  // picking repair relays, so traversal order must be the id order, not the
+  // hash order of whatever libstdc++ this host has.
+  std::map<NodeId, Neighbor> neighbors_;
+  std::map<NodeId, CachedRoute> route_table_;
   std::unordered_map<NodeId, Discovery> discovering_;
   std::uint16_t next_req_id_ = 1;
   std::unordered_map<std::uint64_t, SimTime> rreq_seen_;

@@ -14,7 +14,7 @@
 // Omitted: weighted settling time (we rate-limit triggered updates instead).
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "net/node.hpp"
@@ -76,7 +76,9 @@ class Dsdv final : public RoutingProtocol {
   Config cfg_;
   RngStream rng_;
   std::uint32_t own_seq_ = 0;  // even numbers: destination-generated
-  std::unordered_map<NodeId, Route> routes_;
+  /// Ordered map: full and triggered updates serialize the table in iteration
+  /// order, keeping advertised entry order identical on every platform.
+  std::map<NodeId, Route> routes_;
   bool trigger_pending_ = false;
   SimTime last_triggered_ = SimTime::zero();
 };

@@ -17,7 +17,9 @@ bool loop_free(const Path& path) {
 
 void RouteCache::add(const Path& path, SimTime now) {
   if (path.size() < 2) return;
-  MANET_EXPECTS(path.front() == self_);
+  MANET_EXPECTS_MSG(path.front() == self_,
+                    "node %u t=%lldns: cached path must start at self, starts at %u (%zu hops)",
+                    self_, static_cast<long long>(now.ns()), path.front(), path.size());
   if (!loop_free(path)) return;
   for (auto& e : entries_) {
     if (e.path == path) {
@@ -34,6 +36,8 @@ void RouteCache::add(const Path& path, SimTime now) {
     entries_.erase(victim);
   }
   entries_.push_back(Entry{path, now + lifetime_});
+  MANET_ENSURES_MSG(entries_.size() <= capacity_, "node %u: cache grew past capacity %zu",
+                    self_, capacity_);
 }
 
 std::optional<Path> RouteCache::find(NodeId dst, SimTime now) const {
@@ -46,6 +50,15 @@ std::optional<Path> RouteCache::find(NodeId dst, SimTime now) const {
     if (!best || len < best->size()) {
       best = Path(e.path.begin(), it + 1);
     }
+  }
+  // Cache invariant: every stored path is loop-free (enforced in add(), and
+  // truncation in remove_link() preserves it), so any returned prefix is an
+  // acyclic source route. A looping source route would bounce data packets
+  // between nodes until the TTL burns out.
+  if (best) {
+    MANET_ENSURES_MSG(loop_free(*best) && best->front() == self_ && best->back() == dst,
+                      "node %u t=%lldns dst=%u: cache produced an invalid route (%zu hops)",
+                      self_, static_cast<long long>(now.ns()), dst, best->size());
   }
   return best;
 }

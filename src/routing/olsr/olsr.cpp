@@ -1,6 +1,7 @@
 #include "routing/olsr/olsr.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace manet::olsr {
 
@@ -192,6 +193,8 @@ void Olsr::purge_expired() {
   std::erase_if(links_, [now](const auto& kv) {
     return kv.second.sym_until <= now && kv.second.asym_until <= now;
   });
+  // manet-lint: order-independent - pure expiry sweep; erases per-key state
+  // and schedules nothing, so visit order cannot reach the event queue.
   for (auto it = twohop_.begin(); it != twohop_.end();) {
     std::erase_if(it->second, [now](const auto& kv) { return kv.second.expires <= now; });
     if (it->second.empty() || !link_sym(it->first)) {
@@ -239,6 +242,8 @@ void Olsr::recompute_routes() {
       if (tuple.expires > now && nbr != node_.id()) adj[n].push_back(nbr);
     }
   }
+  // manet-lint: order-independent - only fills the adjacency multimap, whose
+  // per-node neighbour lists are sorted inside shortest_paths() before use.
   for (const auto& [origin, entry] : topology_) {
     if (entry.first.expires <= now) continue;
     for (const NodeId sel : entry.second) {

@@ -20,8 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/node.hpp"
@@ -103,11 +103,14 @@ class Olsr final : public RoutingProtocol {
   Config cfg_;
   RngStream rng_;
 
-  std::unordered_map<NodeId, LinkTuple> links_;
+  /// Ordered map: send_hello() serializes the link set in table order, so the
+  /// advertised link list is identical on every platform.
+  std::map<NodeId, LinkTuple> links_;
   /// (1-hop sym neighbour -> its sym neighbours with expiry).
   std::unordered_map<NodeId, std::unordered_map<NodeId, TwoHopTuple>> twohop_;
   std::vector<NodeId> mpr_set_;
-  std::unordered_map<NodeId, SimTime> selector_set_;  // who picked us, expiry
+  /// Ordered map: mpr_selectors() walks it to build TC selector lists.
+  std::map<NodeId, SimTime> selector_set_;  // who picked us, expiry
   /// (origin -> advertised selector set) from TCs.
   std::unordered_map<NodeId, std::pair<TopologyTuple, std::vector<NodeId>>> topology_;
   std::unordered_map<std::uint64_t, SimTime> dup_set_;

@@ -22,8 +22,8 @@
 // instead), and IMEP's reliable/in-order control delivery.
 #pragma once
 
+#include <map>
 #include <optional>
-#include <unordered_map>
 
 #include "net/node.hpp"
 #include "routing/common.hpp"
@@ -87,7 +87,9 @@ class Tora final : public RoutingProtocol {
     bool route_required = false;
     SimTime last_qry = SimTime{-1'000'000'000};
     /// Last advertised height per neighbour (nullopt = advertised null).
-    std::unordered_map<NodeId, std::optional<Height>> nbr_heights;
+    /// Ordered map: best_downstream() breaks height ties towards the lowest
+    /// neighbour id instead of hash order.
+    std::map<NodeId, std::optional<Height>> nbr_heights;
   };
 
   void send_beacon();
@@ -107,8 +109,11 @@ class Tora final : public RoutingProtocol {
   Config cfg_;
   RngStream rng_;
   PacketBuffer buffer_;
-  std::unordered_map<NodeId, SimTime> neighbors_;  // id -> expiry
-  std::unordered_map<NodeId, DestState> dests_;
+  // Ordered maps: purge_neighbors() and on_neighbor_lost() emit control
+  // packets while walking these tables, so iteration order reaches the event
+  // queue and must not depend on hash layout.
+  std::map<NodeId, SimTime> neighbors_;  // id -> expiry
+  std::map<NodeId, DestState> dests_;
 };
 
 }  // namespace manet::tora

@@ -1,7 +1,7 @@
 #include "scenario/sweep.hpp"
 
 #include <atomic>
-#include <chrono>
+#include <chrono>  // manet-lint: allow-wall-clock - replication profiling only
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -14,9 +14,13 @@ namespace manet {
 
 namespace {
 
+// Wall-clock readings feed only the RunProfile/SweepResult performance
+// artifacts (wall_s, events_per_sec); no simulated behaviour depends on them.
+// manet-lint: allow-wall-clock - profiling artifact data, never sim input
 using Clock = std::chrono::steady_clock;
 
 [[nodiscard]] double elapsed_s(Clock::time_point t0) {
+  // manet-lint: allow-wall-clock - profiling artifact data, never sim input
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 

@@ -1,0 +1,12 @@
+// Fixture: malformed suppressions (MLNT009) — an unknown tag and a known
+// tag with no rationale. Also includes a rationale-free disable(...).
+// manet-lint: disable(MLNT008)
+#include <cstdlib>
+
+int lucky() {
+  return std::rand();  // manet-lint: allow-everything - tag does not exist
+}
+
+int luckier() {
+  return std::rand();  // manet-lint: allow-rand
+}

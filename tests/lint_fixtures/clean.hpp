@@ -1,0 +1,24 @@
+// Fixture: a header that follows every rule — ordered containers, no
+// wall-clock reads, no stray RNG, #pragma once present. Zero findings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace fixture {
+
+struct Sim {
+  template <typename F>
+  void schedule(long delay_ns, F&& fn);
+};
+
+inline int drain(Sim& sim, const std::map<std::uint32_t, int>& timers) {
+  int total = 0;
+  for (const auto& [id, budget] : timers) {
+    total += budget;
+    sim.schedule(budget, [] {});
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Fixture: exact floating-point equality against literals (MLNT008).
+// Reassociation or FMA contraction makes these comparisons flip between
+// builds even when the maths is "the same".
+bool at_origin(double x) { return x == 0.0; }
+bool moved(float v) { return v != 1.5f; }

@@ -1,0 +1,5 @@
+// Fixture: header without #pragma once (MLNT007).
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

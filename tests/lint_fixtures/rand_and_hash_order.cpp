@@ -1,0 +1,24 @@
+// Fixture: the canonical determinism bug pair. rand() draws from hidden
+// global state (MLNT001) and the unordered_map iteration feeds hash order
+// straight into the event schedule (MLNT006). Neither is annotated, so
+// manet_lint must flag both.
+#include <cstdlib>
+#include <unordered_map>
+
+struct Sim {
+  template <typename F>
+  void schedule(long delay_ns, F&& fn);
+};
+
+struct Node {
+  Sim& sim();
+};
+
+std::unordered_map<unsigned, int> pending_timers;
+
+void kick_timers(Node& node) {
+  for (const auto& [id, budget] : pending_timers) {
+    const long jitter = std::rand() % 1000;
+    node.sim().schedule(jitter + budget, [] {});
+  }
+}

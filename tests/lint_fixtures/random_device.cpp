@@ -1,0 +1,10 @@
+// Fixture: std::random_device (MLNT002) and a <random> engine outside
+// core/rng (MLNT005). Hardware entropy can never be replayed from a seed.
+#include <random>
+
+unsigned draw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::uniform_int_distribution<unsigned> dist(0, 9);
+  return dist(gen);
+}

@@ -1,0 +1,27 @@
+// Fixture: the same hazards as rand_and_hash_order.cpp, but every one
+// carries a tagged suppression with a rationale — manet_lint must be clean.
+#include <cstdlib>
+#include <unordered_map>
+
+struct Sim {
+  template <typename F>
+  void schedule(long delay_ns, F&& fn);
+};
+
+struct Node {
+  Sim& sim();
+};
+
+std::unordered_map<unsigned, int> pending_timers;
+
+int total_budget(Node& node) {
+  int total = 0;
+  // manet-lint: order-independent - pure summation; addition of ints is
+  // commutative, so visit order cannot change the result.
+  for (const auto& [id, budget] : pending_timers) {
+    total += budget;
+  }
+  const int jitter = std::rand() % 7;  // manet-lint: allow-rand - fixture demonstrating an inline suppression
+  node.sim().schedule(total + jitter, [] {});
+  return total;
+}

@@ -1,0 +1,11 @@
+// Fixture: host-clock reads in sim code — time() (MLNT003) and std::chrono
+// (MLNT004). Both are banned: simulated behaviour may only depend on
+// Simulator::now().
+#include <chrono>
+#include <ctime>
+
+long stamp_events() {
+  const long wall = static_cast<long>(std::time(nullptr));
+  const auto tick = std::chrono::steady_clock::now().time_since_epoch().count();
+  return wall + tick;
+}

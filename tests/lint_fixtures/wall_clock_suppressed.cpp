@@ -1,0 +1,13 @@
+// Fixture: wall-clock reads carrying the allow-wall-clock tag — profiling
+// code that measures host time without feeding it into the simulation.
+// manet_lint must be clean.
+// manet-lint: allow-wall-clock - fixture models a profiling-only translation unit
+#include <chrono>
+
+double profile_elapsed_s() {
+  // manet-lint: allow-wall-clock - wall time is reported to the artifact
+  // writer only; it never becomes an event timestamp.
+  const auto t0 = std::chrono::steady_clock::now();
+  // manet-lint: allow-wall-clock - see above, same profiling read
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}

@@ -256,7 +256,7 @@ TEST(OnOffTraffic, ScenarioIntegration) {
   const auto r = Scenario::run_once(cfg);
   EXPECT_GT(r.data_originated, 0u);
   EXPECT_GT(r.pdr, 0.3);
-  EXPECT_NE(std::string(cfg.parameter_table()).find("on/off"), std::string::npos);
+  EXPECT_NE(cfg.parameter_table().find("on/off"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -283,8 +283,8 @@ INSTANTIATE_TEST_SUITE_P(Kinds, MobilityKinds,
                                            MobilityKind::kRandomWalk,
                                            MobilityKind::kGaussMarkov,
                                            MobilityKind::kManhattan),
-                         [](const ::testing::TestParamInfo<MobilityKind>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<MobilityKind>& param_info) {
+                           switch (param_info.param) {
                              case MobilityKind::kRandomWaypoint: return "waypoint";
                              case MobilityKind::kRandomWalk: return "walk";
                              case MobilityKind::kGaussMarkov: return "gaussmarkov";

@@ -84,8 +84,8 @@ TEST_P(AllProtocols, ReactiveQuietWithoutTraffic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Protocols, AllProtocols, ::testing::ValuesIn(kAllProtocols),
-                         [](const ::testing::TestParamInfo<Protocol>& info) {
-                           return to_string(info.param);
+                         [](const ::testing::TestParamInfo<Protocol>& param_info) {
+                           return to_string(param_info.param);
                          });
 
 // Cross-protocol shape checks (the paper's qualitative claims, loosely).

@@ -27,7 +27,7 @@ class TimestampListener : public MacListener {
 };
 
 struct TimingNet {
-  explicit TimingNet(double gap_m, MacConfig mac_cfg = {}) {
+  explicit TimingNet(double gap_m, MacConfig cfg = {}) : mac_cfg(cfg) {
     channel = std::make_unique<Channel>(sim, phy, Area{3000.0, 3000.0});
     for (int i = 0; i < 2; ++i) {
       mobs.push_back(std::make_unique<StaticMobility>(Vec2{gap_m * i, 0.0}));

@@ -1,0 +1,642 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace manet::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"MLNT001", "banned-rand", "allow-rand",
+     "rand()/srand() draw from hidden global state; use a named RngStream"},
+    {"MLNT002", "random-device", "allow-rng",
+     "std::random_device is hardware entropy — unreproducible by design"},
+    {"MLNT003", "wall-clock-call", "allow-wall-clock",
+     "time()/clock()/gettimeofday() read the host clock, not sim time"},
+    {"MLNT004", "wall-clock-chrono", "allow-wall-clock",
+     "std::chrono reads the host clock; sim code must use core/time.hpp"},
+    {"MLNT005", "rng-outside-core", "allow-rng",
+     "<random> engines/distributions are banned outside core/rng"},
+    {"MLNT006", "unordered-iteration", "order-independent",
+     "iterating an unordered container lets hash order leak into behaviour"},
+    {"MLNT007", "missing-pragma-once", "allow-no-pragma-once",
+     "headers must start with #pragma once"},
+    {"MLNT008", "float-equality", "allow-float-eq",
+     "==/!= against floating-point literals is numerically fragile"},
+    {"MLNT009", "bad-suppression", "",
+     "manet-lint suppression with unknown tag or missing rationale"},
+};
+
+[[nodiscard]] const RuleInfo* rule_by_id(std::string_view id) {
+  for (const RuleInfo& r : kRules) {
+    if (id == r.id) return &r;
+  }
+  return nullptr;
+}
+
+[[nodiscard]] bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ---------------------------------------------------------------------------
+// Per-line views: code with comments/strings blanked, plus the comment text
+// ---------------------------------------------------------------------------
+
+struct LineView {
+  std::string code;     ///< comments and string/char literal bodies blanked
+  std::string comment;  ///< text of any // or /* */ comment on the line
+};
+
+/// Split raw text into per-line code/comment views. String and character
+/// literals are blanked in `code` so their contents can't trip rules;
+/// comment text is preserved separately for suppression parsing.
+[[nodiscard]] std::vector<LineView> preprocess(const std::string& text) {
+  std::vector<LineView> out;
+  LineView cur;
+  bool in_block_comment = false;
+  bool in_string = false;
+  bool in_char = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = (i + 1 < text.size()) ? text[i + 1] : '\0';
+    if (c == '\n') {
+      out.push_back(std::move(cur));
+      cur = LineView{};
+      in_string = in_char = false;  // unterminated literals don't span lines here
+      continue;
+    }
+    if (in_block_comment) {
+      if (c == '*' && next == '/') {
+        in_block_comment = false;
+        cur.comment += " ";
+        ++i;
+      } else {
+        cur.comment += c;
+      }
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+        cur.code += '"';
+      }
+      continue;
+    }
+    if (in_char) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+        cur.code += '\'';
+      }
+      continue;
+    }
+    if (c == '/' && next == '/') {
+      cur.comment += text.substr(i + 2, text.find('\n', i) - i - 2);
+      i = text.find('\n', i);
+      if (i == std::string::npos) break;
+      out.push_back(std::move(cur));
+      cur = LineView{};
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      // Digit separators like 1'000 must not open a "char literal": only
+      // treat ' as one when not directly preceded by an identifier char.
+      in_string = true;
+      cur.code += '"';
+      continue;
+    }
+    if (c == '\'' && !(i > 0 && is_ident(text[i - 1]))) {
+      in_char = true;
+      cur.code += '\'';
+      continue;
+    }
+    cur.code += c;
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Small matching helpers (hand-rolled: precise boundaries, no regex escaping)
+// ---------------------------------------------------------------------------
+
+/// True if `code` calls `name` as a free (or std::-qualified) function:
+/// boundary before, then optional spaces, then '('.
+[[nodiscard]] bool has_call(const std::string& code, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const std::size_t end = pos + name.size();
+    const bool lb = pos == 0 || (!is_ident(code[pos - 1]) && code[pos - 1] != '.') ||
+                    (pos >= 2 && code[pos - 1] == ':' && code[pos - 2] == ':');
+    // Member access (`x.time(...)`) refers to sim-time accessors, not libc.
+    const bool member = pos > 0 && (code[pos - 1] == '.' ||
+                                    (pos >= 2 && code[pos - 1] == '>' && code[pos - 2] == '-'));
+    std::size_t j = end;
+    if (lb && !member && (end >= code.size() || !is_ident(code[end]))) {
+      while (j < code.size() && code[j] == ' ') ++j;
+      if (j < code.size() && code[j] == '(') return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+/// True if `code` contains `word` with identifier boundaries on both sides.
+[[nodiscard]] bool has_word(const std::string& code, std::string_view word) {
+  std::size_t pos = 0;
+  while ((pos = code.find(word, pos)) != std::string::npos) {
+    const bool lb = pos == 0 || !is_ident(code[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool rb = end >= code.size() || !is_ident(code[end]);
+    if (lb && rb) return true;
+    pos = end;
+  }
+  return false;
+}
+
+[[nodiscard]] bool is_float_literal(std::string_view tok) {
+  if (!tok.empty() && (tok.back() == 'f' || tok.back() == 'F')) tok.remove_suffix(1);
+  const std::size_t dot = tok.find('.');
+  if (dot == std::string_view::npos || tok.empty()) return false;
+  for (std::size_t i = 0; i < tok.size(); ++i) {
+    if (i == dot) continue;
+    if (std::isdigit(static_cast<unsigned char>(tok[i])) == 0) return false;
+  }
+  return dot > 0 || tok.size() > 1;  // "1.0", "1.", ".5" — but not "."
+}
+
+/// Does the line compare (==/!=) against a floating-point literal?
+[[nodiscard]] bool has_float_equality(const std::string& code) {
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    if ((code[i] != '=' && code[i] != '!') || code[i + 1] != '=') continue;
+    if (i + 2 < code.size() && code[i + 2] == '=') continue;  // skip a == =...
+    if (i > 0 && (code[i - 1] == '<' || code[i - 1] == '>' || code[i - 1] == '=')) continue;
+    // Token after the operator.
+    std::size_t a = i + 2;
+    while (a < code.size() && code[a] == ' ') ++a;
+    std::size_t ae = a;
+    while (ae < code.size() && (is_ident(code[ae]) || code[ae] == '.')) ++ae;
+    if (is_float_literal(std::string_view(code).substr(a, ae - a))) return true;
+    // Token before the operator.
+    std::size_t b = i;
+    while (b > 0 && code[b - 1] == ' ') --b;
+    std::size_t bs = b;
+    while (bs > 0 && (is_ident(code[bs - 1]) || code[bs - 1] == '.')) --bs;
+    if (is_float_literal(std::string_view(code).substr(bs, b - bs))) return true;
+  }
+  return false;
+}
+
+/// Names of variables/members declared as std::unordered_map/unordered_set
+/// anywhere in `code_text` (newlines allowed inside the template argument
+/// list — declarations are matched across lines).
+[[nodiscard]] std::unordered_set<std::string> unordered_decls(const std::string& code_text) {
+  std::unordered_set<std::string> names;
+  static constexpr std::string_view kMarkers[] = {"std::unordered_map", "std::unordered_set"};
+  for (const std::string_view marker : kMarkers) {
+    std::size_t pos = 0;
+    while ((pos = code_text.find(marker, pos)) != std::string::npos) {
+      std::size_t i = pos + marker.size();
+      while (i < code_text.size() && std::isspace(static_cast<unsigned char>(code_text[i]))) ++i;
+      if (i >= code_text.size() || code_text[i] != '<') {
+        pos += marker.size();
+        continue;
+      }
+      int depth = 0;
+      for (; i < code_text.size(); ++i) {
+        if (code_text[i] == '<') ++depth;
+        if (code_text[i] == '>' && --depth == 0) break;
+      }
+      ++i;  // past '>'
+      while (i < code_text.size() &&
+             (std::isspace(static_cast<unsigned char>(code_text[i])) || code_text[i] == '&' ||
+              code_text[i] == '*')) {
+        ++i;
+      }
+      std::size_t ne = i;
+      while (ne < code_text.size() && is_ident(code_text[ne])) ++ne;
+      if (ne > i) {
+        std::size_t after = ne;
+        while (after < code_text.size() &&
+               std::isspace(static_cast<unsigned char>(code_text[after]))) {
+          ++after;
+        }
+        const char t = after < code_text.size() ? code_text[after] : '\0';
+        if (t == ';' || t == '=' || t == '{' || t == '(' || t == ',' || t == ')') {
+          names.insert(code_text.substr(i, ne - i));
+        }
+      }
+      pos = ne;
+    }
+  }
+  return names;
+}
+
+/// The container expression iterated by a range-for on this line, if any:
+/// matches `for (... : expr)` and returns `expr` when it is a bare
+/// identifier (possibly `this->x`); compound expressions return "".
+[[nodiscard]] std::string range_for_target(const std::string& code) {
+  const std::size_t f = code.find("for");
+  if (f == std::string::npos || !has_word(code, "for")) return {};
+  const std::size_t colon = code.rfind(':');
+  if (colon == std::string::npos || colon == 0) return {};
+  if (code[colon - 1] == ':') return {};  // `::` qualifier, not a range-for
+  if (colon + 1 < code.size() && code[colon + 1] == ':') return {};
+  std::size_t a = colon + 1;
+  while (a < code.size() && code[a] == ' ') ++a;
+  std::size_t e = a;
+  while (e < code.size() && is_ident(code[e])) ++e;
+  std::size_t close = e;
+  while (close < code.size() && code[close] == ' ') ++close;
+  if (close >= code.size() || code[close] != ')') return {};
+  return code.substr(a, e - a);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  // line (1-based) -> tags active for that line
+  std::vector<std::vector<std::string>> line_tags;
+  std::unordered_set<std::string> disabled_rules;  // file-level
+  std::vector<Finding> errors;                     // MLNT009
+};
+
+[[nodiscard]] std::string trim(std::string s) {
+  const auto issp = [](char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; };
+  while (!s.empty() && issp(s.front())) s.erase(s.begin());
+  while (!s.empty() && issp(s.back())) s.pop_back();
+  return s;
+}
+
+[[nodiscard]] bool known_tag(std::string_view tag) {
+  return std::any_of(kRules.begin(), kRules.end(), [&](const RuleInfo& r) {
+    return tag == r.tag || tag == r.id;
+  });
+}
+
+/// Parse `manet-lint:` directives. A directive on a code line covers that
+/// line; one on a comment-only line covers the next line that has code.
+[[nodiscard]] Suppressions collect_suppressions(const std::string& path,
+                                                const std::vector<LineView>& lines) {
+  Suppressions sup;
+  sup.line_tags.resize(lines.size() + 2);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& comment = lines[i].comment;
+    const std::size_t d = comment.find("manet-lint:");
+    if (d == std::string::npos) continue;
+    const int lineno = static_cast<int>(i) + 1;
+    std::string rest = trim(comment.substr(d + std::string_view("manet-lint:").size()));
+    // Tag is the first token; everything after a `-` or in `(...)` after a
+    // disable(...) is the rationale.
+    std::size_t te = 0;
+    while (te < rest.size() && (is_ident(rest[te]) || rest[te] == '-')) {
+      // a lone '-' separator ends the tag
+      if (rest[te] == '-' && te + 1 < rest.size() && rest[te + 1] == ' ') break;
+      ++te;
+    }
+    std::string tag = trim(rest.substr(0, te));
+    std::string after = trim(te < rest.size() ? rest.substr(te) : "");
+    if (tag == "disable" && !after.empty() && after.front() == '(') {
+      const std::size_t close = after.find(')');
+      if (close == std::string::npos) {
+        sup.errors.push_back({path, lineno, "MLNT009", "unclosed disable(...) directive"});
+        continue;
+      }
+      const std::string id = trim(after.substr(1, close - 1));
+      const std::string rationale = trim(after.substr(close + 1));
+      if (rule_by_id(id) == nullptr) {
+        sup.errors.push_back({path, lineno, "MLNT009", "disable(" + id + "): unknown rule id"});
+        continue;
+      }
+      if (rationale.size() < 4) {
+        sup.errors.push_back({path, lineno, "MLNT009",
+                              "disable(" + id + ") needs a rationale: `// manet-lint: disable(" +
+                                  id + ") - <why this file is exempt>`"});
+        continue;
+      }
+      if (lineno > 40) {
+        sup.errors.push_back({path, lineno, "MLNT009",
+                              "disable(...) must appear in the first 40 lines of the file"});
+        continue;
+      }
+      sup.disabled_rules.insert(id);
+      continue;
+    }
+    if (!known_tag(tag)) {
+      sup.errors.push_back(
+          {path, lineno, "MLNT009",
+           "unknown suppression tag \"" + tag + "\" (see manet_lint --list-rules)"});
+      continue;
+    }
+    // Rationale: require a few words after `<tag> -`.
+    std::string rationale = after;
+    if (!rationale.empty() && rationale.front() == '-') rationale = trim(rationale.substr(1));
+    if (rationale.size() < 4) {
+      sup.errors.push_back({path, lineno, "MLNT009",
+                            "suppression \"" + tag + "\" needs a rationale: `// manet-lint: " +
+                                tag + " - <why this is safe>`"});
+      continue;
+    }
+    // Attach to this line if it has code, otherwise to the next code line.
+    std::size_t target = i;
+    if (trim(lines[i].code).empty()) {
+      target = i + 1;
+      while (target < lines.size() && trim(lines[target].code).empty() &&
+             lines[target].comment.find("manet-lint:") == std::string::npos) {
+        ++target;
+      }
+    }
+    if (target < sup.line_tags.size()) {
+      sup.line_tags[target + 1].push_back(tag);  // 1-based
+    }
+  }
+  return sup;
+}
+
+[[nodiscard]] bool suppressed(const Suppressions& sup, const RuleInfo& rule, int line) {
+  if (sup.disabled_rules.contains(rule.id)) return true;
+  if (line < 1 || static_cast<std::size_t>(line) >= sup.line_tags.size()) return false;
+  for (const std::string& t : sup.line_tags[static_cast<std::size_t>(line)]) {
+    if (t == rule.tag || t == rule.id) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// The checker
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool is_header(const std::string& path) {
+  return path.ends_with(".hpp") || path.ends_with(".h") || path.ends_with(".hh");
+}
+
+/// Does this scan unit schedule events, transmit, or implement routing state?
+/// MLNT006 applies only there — hash order in a pure utility is harmless.
+[[nodiscard]] bool order_sensitive(const std::string& path, const std::string& all_code) {
+  if (path.find("/routing/") != std::string::npos) return true;
+  static constexpr std::string_view kMarkers[] = {".schedule(",     ".schedule_at(",
+                                                  "send_broadcast", "send_with_next_hop",
+                                                  ".enqueue(",      "sim().schedule"};
+  return std::any_of(std::begin(kMarkers), std::end(kMarkers),
+                     [&](std::string_view m) { return all_code.find(m) != std::string::npos; });
+}
+
+void check(const std::string& path, const std::vector<LineView>& lines,
+           const std::string& all_code, const std::string& paired_code,
+           std::vector<Finding>& out) {
+  const Suppressions sup = collect_suppressions(path, lines);
+  out.insert(out.end(), sup.errors.begin(), sup.errors.end());
+
+  const auto add = [&](const char* id, int line, std::string msg) {
+    const RuleInfo* rule = rule_by_id(id);
+    if (suppressed(sup, *rule, line)) return;
+    out.push_back({path, line, id, std::move(msg)});
+  };
+
+  const bool in_core_rng = path.find("core/rng") != std::string::npos;
+  const std::unordered_set<std::string> unordered = [&] {
+    auto names = unordered_decls(all_code);
+    auto paired = unordered_decls(paired_code);
+    names.insert(paired.begin(), paired.end());
+    return names;
+  }();
+  const bool mlnt006_applies = order_sensitive(path, all_code + paired_code);
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    if (trim(code).empty()) continue;
+    const int n = static_cast<int>(i) + 1;
+
+    if (has_call(code, "rand") || has_call(code, "srand")) {
+      add("MLNT001", n,
+          "rand()/srand() is banned: draw from a named RngStream (core/rng.hpp) so every "
+          "replication is reproducible from (seed, scenario) alone");
+    }
+    if (code.find("random_device") != std::string::npos) {
+      add("MLNT002", n,
+          "std::random_device is hardware entropy and can never be replayed; seed a named "
+          "RngStream from the scenario seed instead");
+    }
+    for (const std::string_view fn :
+         {"time", "clock", "gettimeofday", "localtime", "gmtime", "ftime"}) {
+      if (has_call(code, fn)) {
+        add("MLNT003", n,
+            std::string(fn) + "() reads the host clock; sim code must use Simulator::now() / "
+                              "core/time.hpp (annotate profiling code with `// manet-lint: "
+                              "allow-wall-clock - <why>`)");
+        break;
+      }
+    }
+    if (has_word(code, "chrono")) {
+      add("MLNT004", n,
+          "std::chrono is wall-clock time: nondeterministic across hosts and runs. Use SimTime "
+          "for simulated time; profiling-only reads need `// manet-lint: allow-wall-clock - "
+          "<why>`");
+    }
+    if (!in_core_rng) {
+      static constexpr std::string_view kEngines[] = {
+          "mt19937",       "mt19937_64", "minstd_rand",           "minstd_rand0",
+          "ranlux24",      "ranlux48",   "default_random_engine", "knuth_b",
+          "philox4x32_10",
+      };
+      bool hit = code.find("_distribution") != std::string::npos ||
+                 code.find("<random>") != std::string::npos;
+      for (const std::string_view e : kEngines) {
+        hit = hit || has_word(code, e);
+      }
+      if (hit) {
+        add("MLNT005", n,
+            "<random> engines/distributions outside core/rng fragment the seeding discipline; "
+            "derive a child RngStream(root_seed, name, index) instead");
+      }
+    }
+    if (mlnt006_applies && !unordered.empty()) {
+      std::string target = range_for_target(code);
+      if (target.empty() && has_word(code, "for")) {
+        for (const std::string& name : unordered) {
+          if (code.find(name + ".begin()") != std::string::npos ||
+              code.find(name + ".cbegin()") != std::string::npos) {
+            target = name;
+            break;
+          }
+        }
+      }
+      if (!target.empty() && unordered.contains(target)) {
+        add("MLNT006", n,
+            "iterating unordered container `" + target +
+                "` in event-scheduling/routing code: hash order must never reach the event "
+                "queue or a packet. Use std::map/std::set, iterate a sorted copy, or annotate "
+                "`// manet-lint: order-independent - <why>`");
+      }
+    }
+    if (has_float_equality(code)) {
+      add("MLNT008", n,
+          "==/!= against a floating-point literal: compare integers (SimTime ns) or use an "
+          "explicit tolerance; exact FP equality breaks under reordering/FMA");
+    }
+  }
+
+  if (is_header(path)) {
+    bool found = false;
+    for (std::size_t i = 0; i < lines.size() && i < 50; ++i) {
+      if (lines[i].code.find("#pragma once") != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      add("MLNT007", 1, "header lacks #pragma once (double inclusion ODR hazard)");
+    }
+  }
+}
+
+[[nodiscard]] std::string read_file(const std::filesystem::path& p, bool& ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  ok = true;
+  return ss.str();
+}
+
+[[nodiscard]] std::string joined_code(const std::vector<LineView>& lines) {
+  std::string all;
+  for (const LineView& l : lines) {
+    all += l.code;
+    all += '\n';
+  }
+  return all;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+std::vector<Finding> lint_text(const std::string& path, const std::string& text,
+                               const std::string& paired_text) {
+  std::vector<Finding> out;
+  const std::vector<LineView> lines = preprocess(text);
+  const std::string paired_code =
+      paired_text.empty() ? std::string{} : joined_code(preprocess(paired_text));
+  check(path, lines, joined_code(lines), paired_code, out);
+  return out;
+}
+
+std::vector<Finding> lint_file(const std::filesystem::path& p) {
+  bool ok = false;
+  const std::string text = read_file(p, ok);
+  if (!ok) {
+    return {{p.generic_string(), 0, "MLNT000", "cannot read file"}};
+  }
+  std::string paired;
+  if (p.extension() == ".cpp" || p.extension() == ".cc") {
+    for (const char* ext : {".hpp", ".h", ".hh"}) {
+      std::filesystem::path header = p;
+      header.replace_extension(ext);
+      if (std::filesystem::exists(header)) {
+        bool hok = false;
+        paired = read_file(header, hok);
+        break;
+      }
+    }
+  }
+  return lint_text(p.generic_string(), text, paired);
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::filesystem::path>& roots) {
+  std::vector<std::filesystem::path> files;
+  const auto wanted = [](const std::filesystem::path& p) {
+    const auto ext = p.extension();
+    return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h" || ext == ".hh";
+  };
+  for (const std::filesystem::path& root : roots) {
+    if (std::filesystem::is_regular_file(root)) {
+      files.push_back(root);
+      continue;
+    }
+    if (!std::filesystem::is_directory(root)) {
+      files.push_back(root);  // surfaces as MLNT000 cannot-read
+      continue;
+    }
+    for (auto it = std::filesystem::recursive_directory_iterator(root);
+         it != std::filesystem::recursive_directory_iterator(); ++it) {
+      const std::string name = it->path().filename().string();
+      if (it->is_directory() && (name == "build" || name == ".git" || name == "lint_fixtures")) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && wanted(it->path())) files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> out;
+  for (const std::filesystem::path& f : files) {
+    auto fs = lint_file(f);
+    out.insert(out.end(), fs.begin(), fs.end());
+  }
+  return out;
+}
+
+int run_cli(int argc, const char* const* argv) {
+  std::vector<std::filesystem::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      std::printf("%-8s  %-20s  %-22s  %s\n", "id", "name", "suppression tag", "summary");
+      for (const RuleInfo& r : kRules) {
+        std::printf("%-8s  %-20s  %-22s  %s\n", r.id, r.name, r.tag[0] ? r.tag : "-", r.summary);
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: manet_lint [--list-rules] <file|dir>...\n"
+                  "Scans C++ sources for manetsim determinism-invariant violations.\n"
+                  "Exit code: 0 clean, 1 findings, 2 usage error.\n");
+      return 0;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "manet_lint: no paths given (try --help)\n");
+    return 2;
+  }
+  const std::vector<Finding> findings = lint_paths(roots);
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: %s [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                rule_by_id(f.rule) != nullptr ? rule_by_id(f.rule)->name : "io-error",
+                f.message.c_str());
+  }
+  if (findings.empty()) {
+    std::fprintf(stderr, "manet_lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stderr, "manet_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}
+
+}  // namespace manet::lint
