@@ -17,13 +17,23 @@
 //   MANET_BENCH_DURATION     simulated seconds     (default: per-figure config)
 //   MANET_BENCH_THREADS      worker threads        (default: hw concurrency)
 //   MANET_BENCH_RESULTS_DIR  artifact directory    (default: results)
+//
+// Two extra command-line flags (consumed before google-benchmark sees the
+// argument list — gbench aborts on flags it does not know):
+//
+//   --cell=<substr>          run only cells whose label contains <substr>;
+//                            lets CI pin one cheap cell as its bench canary
+//   --baseline_out=<path>    also write the sweep in tools/bench_gate
+//                            baseline shape ({"schema":1,"entries":[...]})
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -91,6 +101,8 @@ class Suite {
   int run(int argc, char** argv, const char* banner) {
     std::printf("%s\n", banner);
     const BenchEnv env = BenchEnv::parse(default_seeds_);
+    std::string baseline_out;
+    consume_own_flags(argc, argv, baseline_out);
     for (SweepCell& c : cells_) env.apply_duration(c.config);
 
     const SweepRunner runner(env.seeds, env.threads);
@@ -116,15 +128,57 @@ class Suite {
     const std::string json_path = env.results_dir + "/" + name_ + ".json";
     const std::string csv_path = env.results_dir + "/" + name_ + ".csv";
     const bool json_ok = sweep.write_json(json_path);
-    const bool ok = sweep.write_csv(csv_path) && json_ok;
+    bool ok = sweep.write_csv(csv_path) && json_ok;
+    if (!baseline_out.empty()) {
+      std::ofstream out(baseline_out, std::ios::trunc);
+      out << sweep.to_baseline_json();
+      ok = ok && static_cast<bool>(out);
+      if (out) std::printf("baseline: %s\n", baseline_out.c_str());
+    }
     std::printf("\nsweep: %zu cells x %d seeds on %u threads in %.2f s (%.0f events/s)\n",
                 sweep.cells.size(), sweep.seeds_per_cell, sweep.threads, sweep.wall_s,
                 sweep.events_per_sec);
     if (ok) std::printf("artifacts: %s %s\n", json_path.c_str(), csv_path.c_str());
-    return 0;
+    return ok ? 0 : 1;
   }
 
  private:
+  /// Parse and strip --cell= / --baseline_out= so benchmark::Initialize
+  /// (which rejects unknown flags) only sees its own arguments.
+  void consume_own_flags(int& argc, char** argv, std::string& baseline_out) {
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.rfind("--cell=", 0) == 0) {
+        filter_cells(arg.substr(7));
+      } else if (arg.rfind("--baseline_out=", 0) == 0) {
+        baseline_out = arg.substr(15);
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+    argv[argc] = nullptr;
+  }
+
+  void filter_cells(std::string_view substr) {
+    std::vector<SweepCell> cells;
+    std::vector<Metric> metrics;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (cells_[i].label.find(substr) != std::string::npos) {
+        cells.push_back(std::move(cells_[i]));
+        metrics.push_back(metrics_[i]);
+      }
+    }
+    if (cells.empty()) {
+      std::fprintf(stderr, "warning: --cell=%.*s matches no cell label; running all\n",
+                   static_cast<int>(substr.size()), substr.data());
+      return;
+    }
+    cells_ = std::move(cells);
+    metrics_ = std::move(metrics);
+  }
+
   std::string name_;
   int default_seeds_;
   std::vector<SweepCell> cells_;

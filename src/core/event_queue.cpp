@@ -1,31 +1,94 @@
 #include "core/event_queue.hpp"
 
-#include <algorithm>
-
 #include "core/assert.hpp"
 
 namespace manet {
 
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
 EventId EventQueue::schedule(SimTime at, Callback cb) {
   MANET_EXPECTS(cb != nullptr);
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{at, next_seq_++, id, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_.insert(id);
-  if (pending_.size() > peak_size_) peak_size_ = pending_.size();
-  return id;
+
+  std::uint32_t slot = 0;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    if (slots_.size() == slots_.capacity()) {
+      // Growing the slot array move-relocates every stored callback; double
+      // aggressively so that cost stays rare even under 100k+ live events.
+      slots_.reserve(slots_.empty() ? 64 : slots_.size() * 2);
+      heap_.reserve(slots_.capacity());
+    }
+    slots_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  ++s.gen;  // generations start at 1, so make_id(0, gen) != kInvalidEventId
+  s.live = true;
+  s.cb = std::move(cb);
+
+  heap_.push_back(Entry{at, next_seq_++, slot, s.gen});
+  sift_up(heap_.size() - 1);
+
+  ++live_;
+  if (live_ > peak_size_) peak_size_ = live_;
+  return make_id(slot, s.gen);
+}
+
+void EventQueue::retire(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.live = false;
+  s.cb.reset();  // release captures now, not when the heap node surfaces
+  free_.push_back(slot);
+  --live_;
 }
 
 void EventQueue::cancel(EventId id) {
-  pending_.erase(id);
+  if (!pending(id)) return;
+  retire(slot_of(id));
   // The heap node is discarded lazily when it reaches the top.
 }
 
-void EventQueue::discard_cancelled_top() {
-  while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+void EventQueue::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::pop_heap_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::discard_cancelled_top() {
+  while (!heap_.empty() && !entry_live(heap_.front())) pop_heap_top();
 }
 
 SimTime EventQueue::next_time() {
@@ -39,16 +102,30 @@ EventQueue::Popped EventQueue::pop() {
   MANET_EXPECTS(!empty());
   discard_cancelled_top();
   MANET_ASSERT(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  pending_.erase(e.id);
-  return Popped{e.time, e.id, std::move(e.cb)};
+  const Entry e = heap_.front();
+  pop_heap_top();
+
+  Slot& s = slots_[e.slot];
+  Popped out{e.time, make_id(e.slot, e.gen), std::move(s.cb)};
+  s.live = false;
+  s.cb.reset();
+  free_.push_back(e.slot);
+  --live_;
+  return out;
 }
 
 void EventQueue::clear() {
   heap_.clear();
-  pending_.clear();
+  free_.clear();
+  // Keep the slots (and their generations) so ids issued before clear() can
+  // never be confused with later tenants; every slot goes back on the free
+  // list.
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].live = false;
+    slots_[i].cb.reset();
+    free_.push_back(i);
+  }
+  live_ = 0;
 }
 
 }  // namespace manet

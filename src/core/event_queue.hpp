@@ -1,23 +1,28 @@
 // The event queue at the heart of the discrete-event kernel.
 //
-// A binary min-heap ordered by (time, insertion sequence). Ties in time are
+// A 4-ary min-heap ordered by (time, insertion sequence). Ties in time are
 // broken by insertion order so simulations are deterministic regardless of
-// heap internals. Cancellation is lazy: the queue tracks the set of pending
-// ids; a cancelled entry simply leaves the set and its heap node is discarded
-// when it surfaces. cancel() is O(1); pop() is O(log n) amortized. The MAC
-// layer cancels timers constantly, so this path matters.
+// heap internals. Heap nodes are 24-byte PODs; callbacks live in a slot
+// array addressed by EventId, so sifting never moves a closure. EventIds are
+// generation-stamped slot handles: schedule/cancel/pending are pure array
+// indexing — no hashing, no per-event allocation (the MAC layer cancels
+// timers constantly, so this path is the kernel's inner loop). Cancellation
+// is lazy in the heap: a cancelled event's callback is destroyed eagerly,
+// its heap node discarded when it surfaces. cancel() is O(1); pop() is
+// O(log4 n) amortized.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "core/callback.hpp"
 #include "core/time.hpp"
 
 namespace manet {
 
-/// Handle to a scheduled event; used to cancel it. Ids are never reused.
+/// Handle to a scheduled event; used to cancel it. Encodes (slot,
+/// generation): slots are recycled, but the generation advances on every
+/// reuse, so an id value is never issued twice.
 using EventId = std::uint64_t;
 
 /// Sentinel for "no event".
@@ -25,7 +30,7 @@ inline constexpr EventId kInvalidEventId = 0;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   /// Schedule `cb` at absolute time `at`. Returns a handle for cancel().
   EventId schedule(SimTime at, Callback cb);
@@ -35,13 +40,16 @@ class EventQueue {
   void cancel(EventId id);
 
   /// True iff `id` is scheduled and not yet executed or cancelled.
-  [[nodiscard]] bool pending(EventId id) const { return pending_.contains(id); }
+  [[nodiscard]] bool pending(EventId id) const {
+    const std::uint32_t slot = slot_of(id);
+    return slot < slots_.size() && slots_[slot].live && slots_[slot].gen == gen_of(id);
+  }
 
   /// True if no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// High-water mark of live events over the queue's lifetime (survives
   /// clear()). Profiling hook: sweep artifacts report it per replication.
@@ -62,25 +70,50 @@ class EventQueue {
   void clear();
 
  private:
+  /// Heap node: POD ordering key + the slot/generation of its callback.
+  /// Cheap to move, so sift operations stay in one or two cache lines.
   struct Entry {
     SimTime time;
     std::uint64_t seq;  // insertion order; tie-break for determinism
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  /// Callback storage, reused across events. `gen` advances each time the
+  /// slot is allocated, so stale EventIds can never match a later tenant.
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool live = false;
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
+  static constexpr std::uint32_t slot_of(EventId id) { return static_cast<std::uint32_t>(id >> 32); }
+  static constexpr std::uint32_t gen_of(EventId id) { return static_cast<std::uint32_t>(id); }
+  static constexpr EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  /// True iff this heap node still refers to a live event.
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    return slots_[e.slot].live && slots_[e.slot].gen == e.gen;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void pop_heap_top();
   void discard_cancelled_top();
+  void retire(std::uint32_t slot);
 
-  std::vector<Entry> heap_;
-  std::unordered_set<EventId> pending_;
+  std::vector<Entry> heap_;   // 4-ary min-heap by (time, seq)
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // retired slot indices, LIFO
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;  // 0 is kInvalidEventId
+  std::size_t live_ = 0;
   std::size_t peak_size_ = 0;
 };
 

@@ -12,29 +12,6 @@ std::atomic<std::uint64_t> g_next_uid{1};
 
 Packet::Packet() : uid_(g_next_uid.fetch_add(1, std::memory_order_relaxed)) {}
 
-Packet::Packet(const Packet& o)
-    : kind(o.kind),
-      mac(o.mac),
-      arp(o.arp),
-      ip(o.ip),
-      app(o.app),
-      payload_bytes(o.payload_bytes),
-      routing(o.routing ? o.routing->clone() : nullptr),
-      uid_(o.uid_) {}
-
-Packet& Packet::operator=(const Packet& o) {
-  if (this == &o) return *this;
-  kind = o.kind;
-  mac = o.mac;
-  arp = o.arp;
-  ip = o.ip;
-  app = o.app;
-  payload_bytes = o.payload_bytes;
-  routing = o.routing ? o.routing->clone() : nullptr;
-  uid_ = o.uid_;
-  return *this;
-}
-
 std::size_t Packet::size_bytes() const {
   switch (mac.type) {
     case MacFrameType::kRts: return kMacRtsBytes;
@@ -48,6 +25,25 @@ std::size_t Packet::size_bytes() const {
   if (kind == PacketKind::kData) n += kUdpHeaderBytes + payload_bytes;
   if (routing) n += routing->size_bytes();
   return n;
+}
+
+std::shared_ptr<const Packet> PacketArena::make(const Packet& src) {
+  std::unique_ptr<Packet> p;
+  if (!pool_->free.empty()) {
+    p = std::move(pool_->free.back());
+    pool_->free.pop_back();
+    *p = src;  // copy-assign: headers + a shared payload handle, no clone
+  } else {
+    p = std::make_unique<Packet>(src);
+  }
+  // The deleter holds the pool by value, so a copy still in flight when the
+  // arena's owner (the Channel) is destroyed recycles into a pool that
+  // simply dies with the last shared_ptr — no dangling either way.
+  return {p.release(), Recycle{pool_}};
+}
+
+void PacketArena::Recycle::operator()(const Packet* p) const {
+  pool->free.emplace_back(const_cast<Packet*>(p));
 }
 
 }  // namespace manet

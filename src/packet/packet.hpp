@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
+#include <vector>
 
 #include "core/time.hpp"
 
@@ -105,6 +107,56 @@ class RoutingPayloadBase : public RoutingPayload {
   }
 };
 
+/// Copy-on-write handle to a routing payload.
+//
+// Copying a Packet used to deep-clone its payload — so a broadcast to k
+// neighbours did k virtual clone()s plus k frees, and every per-receiver
+// copy in the PHY repeated the cost. Payloads are immutable in practice
+// (receivers read them; only source-route forwarding rewrites one), so the
+// handle shares a const payload across copies and clones only on mutate()
+// when the payload is actually shared. Behaviour is identical to the deep
+// copy: a mutation through mutate() can never be observed by another packet.
+class RoutingPayloadPtr {
+ public:
+  RoutingPayloadPtr() = default;
+  RoutingPayloadPtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  RoutingPayloadPtr(std::unique_ptr<RoutingPayload> p)  // NOLINT(google-explicit-constructor)
+      : p_(std::move(p)) {}
+  template <class Derived>
+    requires std::is_base_of_v<RoutingPayload, Derived>
+  RoutingPayloadPtr(std::unique_ptr<Derived> p)  // NOLINT(google-explicit-constructor)
+      : p_(std::move(p)) {}
+
+  RoutingPayloadPtr& operator=(std::nullptr_t) {
+    p_.reset();
+    return *this;
+  }
+
+  /// Read access. Shared with every other packet copied from the same
+  /// origin; never mutate through a cast of this pointer.
+  [[nodiscard]] const RoutingPayload* get() const { return p_.get(); }
+  const RoutingPayload* operator->() const { return p_.get(); }
+
+  /// Write access: clones the payload first iff it is shared (copy-on-write).
+  /// Returns nullptr when empty.
+  [[nodiscard]] RoutingPayload* mutate() {
+    if (p_ == nullptr) return nullptr;
+    if (p_.use_count() > 1) p_ = std::shared_ptr<const RoutingPayload>(p_->clone());
+    // Sole owner: casting away const is safe — the object was created
+    // non-const and nobody else can observe it.
+    return const_cast<RoutingPayload*>(p_.get());
+  }
+
+  [[nodiscard]] explicit operator bool() const { return p_ != nullptr; }
+  [[nodiscard]] bool operator==(std::nullptr_t) const { return p_ == nullptr; }
+
+  /// True when this handle and `o` share one payload object (tests).
+  [[nodiscard]] bool shares_with(const RoutingPayloadPtr& o) const { return p_ == o.p_; }
+
+ private:
+  std::shared_ptr<const RoutingPayload> p_;
+};
+
 // ---------------------------------------------------------------------------
 // Packet
 // ---------------------------------------------------------------------------
@@ -117,8 +169,8 @@ enum class PacketKind : std::uint8_t {
 class Packet {
  public:
   Packet();
-  Packet(const Packet& o);
-  Packet& operator=(const Packet& o);
+  Packet(const Packet& o) = default;
+  Packet& operator=(const Packet& o) = default;
   Packet(Packet&&) noexcept = default;
   Packet& operator=(Packet&&) noexcept = default;
 
@@ -136,8 +188,9 @@ class Packet {
   std::size_t payload_bytes = 0;
 
   /// Protocol-owned routing content: a control message body, or a source
-  /// route / extension attached to a data packet. May be null.
-  std::unique_ptr<RoutingPayload> routing;
+  /// route / extension attached to a data packet. May be null. Shared
+  /// between copies of the packet; use routing.mutate() to modify in place.
+  RoutingPayloadPtr routing;
 
   /// Total frame size in bytes as transmitted on the air (MAC framing
   /// included); drives the transmission-time calculation.
@@ -145,6 +198,30 @@ class Packet {
 
  private:
   std::uint64_t uid_;
+};
+
+/// Per-simulation pool of delivery Packet copies.
+//
+// The channel hands every decodable arrival a shared read-only copy of the
+// transmitted frame. Those copies are born and die at an enormous rate (one
+// per transmission, k receivers share it), so the arena recycles the Packet
+// allocations instead of round-tripping the allocator: the shared_ptr's
+// deleter returns the object to the free list. Single-threaded by design —
+// one arena per simulation, and a simulation never leaves its worker thread.
+class PacketArena {
+ public:
+  /// A pooled read-only copy of `src` (same uid, shared routing payload).
+  [[nodiscard]] std::shared_ptr<const Packet> make(const Packet& src);
+
+ private:
+  struct Pool {
+    std::vector<std::unique_ptr<Packet>> free;
+  };
+  struct Recycle {
+    std::shared_ptr<Pool> pool;
+    void operator()(const Packet* p) const;
+  };
+  std::shared_ptr<Pool> pool_ = std::make_shared<Pool>();
 };
 
 }  // namespace manet

@@ -60,6 +60,10 @@ SimTime Channel::transmit(NodeId sender, const Packet& frame) {
 
   const double rx2 = cfg_.rx_range_m * cfg_.rx_range_m;
   const double cs2 = cfg_.cs_range_m * cfg_.cs_range_m;
+  // One pooled read-only copy is shared by every decodable arrival of this
+  // transmission (receivers copy what they need at rx_start); a broadcast to
+  // k neighbours no longer deep-copies the frame k times.
+  std::shared_ptr<const Packet> copy;
   for (const std::uint32_t id : scratch_) {
     const Vec2 dst = mob_[id]->position_at(sim_.now());
     grid_.update(id, dst);
@@ -69,8 +73,7 @@ SimTime Channel::transmit(NodeId sender, const Packet& frame) {
     Transceiver* rx = trx_[id];
     const bool faded = cfg_.frame_loss_rate > 0.0 && loss_rng_.chance(cfg_.frame_loss_rate);
     if (d2 <= rx2 && !faded) {
-      // Decodable arrival: the receiver gets its own copy of the frame.
-      auto copy = std::make_shared<Packet>(frame);
+      if (copy == nullptr) copy = arena_.make(frame);
       sim_.schedule(prop, [rx, copy, airtime] { rx->rx_start(copy.get(), airtime); });
     } else {
       // Carrier/interference only.

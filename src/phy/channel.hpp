@@ -56,6 +56,7 @@ class Channel {
   GridIndex grid_;
   SimTime refresh_;
   RngStream loss_rng_;
+  PacketArena arena_;  ///< pools the per-transmission delivery copies
   double max_speed_ = 0.0;
   std::vector<Transceiver*> trx_;
   std::vector<MobilityModel*> mob_;

@@ -170,7 +170,7 @@ void Cbrp::originate(Packet pkt) {
 }
 
 void Cbrp::forward_with_route(Packet pkt) {
-  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.get());
+  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.mutate());
   if (sr == nullptr || sr->next_index >= sr->path.size() ||
       sr->path[sr->next_index] != node_.id() || sr->next_index + 1 >= sr->path.size()) {
     node_.drop(pkt, DropReason::kProtocol);
@@ -326,7 +326,7 @@ std::optional<NodeId> Cbrp::neighbor_reaching(NodeId target, NodeId exclude) con
 }
 
 bool Cbrp::try_local_repair(Packet& pkt, NodeId broken_to) {
-  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.get());
+  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.mutate());
   if (sr == nullptr || sr->repair_count >= cfg_.max_repairs) return false;
   // We are path[i]; the link to path[i+1] == broken_to broke. Patch through a
   // neighbour that reaches the broken node (or the node after it, skipping
@@ -388,7 +388,7 @@ void Cbrp::on_link_failure(const Packet& pkt, NodeId next_hop) {
   if (cfg_.local_repair) {
     Packet patched = pkt;
     if (try_local_repair(patched, next_hop)) {
-      auto* psr = dynamic_cast<SourceRoute*>(patched.routing.get());
+      const auto* psr = dynamic_cast<const SourceRoute*>(patched.routing.get());
       const NodeId hop = psr->path[psr->next_index];
       node_.send_with_next_hop(std::move(patched), hop);
       return;

@@ -57,7 +57,7 @@ void Dsr::originate(Packet pkt) {
 }
 
 void Dsr::forward_with_route(Packet pkt) {
-  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.get());
+  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.mutate());
   if (sr == nullptr) {
     node_.drop(pkt, DropReason::kProtocol);
     return;
@@ -274,7 +274,7 @@ void Dsr::on_link_failure(const Packet& pkt, NodeId next_hop) {
 }
 
 void Dsr::try_salvage(Packet pkt, NodeId /*broken_to*/) {
-  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.get());
+  const auto* sr = dynamic_cast<const SourceRoute*>(pkt.routing.get());
   MANET_ASSERT(sr != nullptr);
   auto alt = cache_.find(pkt.ip.dst, node_.sim().now());
   if (!alt) {

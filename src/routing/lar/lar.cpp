@@ -62,7 +62,7 @@ void Lar::originate(Packet pkt) {
 }
 
 void Lar::forward_with_route(Packet pkt) {
-  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.get());
+  auto* sr = dynamic_cast<SourceRoute*>(pkt.routing.mutate());
   if (sr == nullptr || sr->next_index >= sr->path.size() ||
       sr->path[sr->next_index] != node_.id() || sr->next_index + 1 >= sr->path.size()) {
     node_.drop(pkt, DropReason::kProtocol);

@@ -136,6 +136,24 @@ std::string SweepResult::to_csv() const {
   return os.str();
 }
 
+std::string SweepResult::to_baseline_json() const {
+  std::ostringstream os;
+  os.precision(10);
+  os << "{\n  \"schema\": 1,\n  \"entries\": [\n";
+  os << "    {\"name\": \"";
+  json_escape(os, name);
+  os << "\", \"events_per_sec\": " << events_per_sec << ", \"wall_s\": " << wall_s << '}';
+  for (const SweepCellResult& c : cells) {
+    os << ",\n    {\"name\": \"";
+    json_escape(os, name);
+    os << '/';
+    json_escape(os, c.label);
+    os << "\", \"events_per_sec\": " << c.events_per_sec << ", \"wall_s\": " << c.wall_s << '}';
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
 bool SweepResult::write_json(const std::string& path) const {
   return write_text_file(path, to_json());
 }

@@ -72,6 +72,13 @@ struct SweepResult {
   [[nodiscard]] std::string to_json() const;
   [[nodiscard]] std::string to_csv() const;
 
+  /// Performance-baseline emitter: the flat {name, events_per_sec, wall_s}
+  /// entry list tools/bench_gate records and checks — one entry for the
+  /// whole sweep plus one per cell. This is the sweep side of the
+  /// continuous-benchmark gate (see DESIGN.md "Kernel performance &
+  /// benchmark gate").
+  [[nodiscard]] std::string to_baseline_json() const;
+
   /// Write an emitter's output to `path`, creating parent directories.
   /// Returns false (with a stderr warning) on I/O failure.
   bool write_json(const std::string& path) const;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -95,6 +98,143 @@ TEST(EventQueue, IdsAreNeverReused) {
   q.pop();
   const EventId b = q.schedule(milliseconds(1), [] {});
   EXPECT_NE(a, b);
+}
+
+// The queue recycles slots with a bumped generation; a stale id must never
+// alias the slot's next tenant.
+TEST(EventQueue, StaleIdCannotCancelSlotsNextTenant) {
+  EventQueue q;
+  const EventId stale = q.schedule(milliseconds(1), [] {});
+  q.pop();  // slot freed, id retired
+  int fired = 0;
+  const EventId fresh = q.schedule(milliseconds(2), [&] { ++fired; });
+  EXPECT_NE(stale, fresh);  // same slot, different generation
+  q.cancel(stale);          // aims at the old tenant: must be a no-op
+  EXPECT_TRUE(q.pending(fresh));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, IdsStayUniqueAcrossHeavySlotReuse) {
+  // One slot recycled thousands of times must keep minting distinct ids.
+  EventQueue q;
+  std::vector<EventId> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const EventId id = q.schedule(milliseconds(1), [] {});
+    seen.push_back(id);
+    q.pop();
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(EventQueue, PendingAcrossClear) {
+  EventQueue q;
+  const EventId before = q.schedule(milliseconds(1), [] {});
+  q.clear();
+  EXPECT_FALSE(q.pending(before));
+  // Ids issued before clear() must not be confused with later tenants of
+  // the same slots.
+  int fired = 0;
+  const EventId after = q.schedule(milliseconds(2), [&] { ++fired; });
+  EXPECT_NE(before, after);
+  EXPECT_FALSE(q.pending(before));
+  EXPECT_TRUE(q.pending(after));
+  q.cancel(before);  // stale: no effect on the new event
+  EXPECT_TRUE(q.pending(after));
+  q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CallbackCapturesReleasedOnCancel) {
+  // Cancelling destroys the callback immediately; a shared_ptr captured by
+  // the closure must drop its refcount without waiting for pop()/clear().
+  EventQueue q;
+  auto token = std::make_shared<int>(42);
+  const EventId id = q.schedule(milliseconds(1), [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  q.cancel(id);
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, LargeCallbacksSurviveHeapFallback) {
+  // Captures bigger than the inline buffer take the heap path; semantics
+  // must not change.
+  EventQueue q;
+  std::array<std::uint64_t, 16> big{};  // 128 bytes, over the 32-byte SBO
+  big[0] = 7;
+  big[15] = 9;
+  std::uint64_t sum = 0;
+  q.schedule(milliseconds(1), [big, &sum] { sum = big[0] + big[15]; });
+  q.pop().cb();
+  EXPECT_EQ(sum, 16u);
+}
+
+// Fuzz the queue against a trivially-correct reference model: the reference
+// keeps every event in a flat vector and pops by linear scan over
+// (time, insertion-seq). Any drift in pop order, pending() answers, or
+// fired-callback counts vs the pre-refactor semantics shows up here.
+TEST(EventQueue, FuzzMatchesReferenceModel) {
+  struct RefEvent {
+    SimTime time;
+    std::uint64_t seq;
+    int payload;
+    bool live = true;
+  };
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    RngStream rng(seed);
+    EventQueue q;
+    std::vector<RefEvent> ref;        // by insertion order; seq = index
+    std::vector<EventId> ids;         // parallel to ref
+    std::vector<int> fired;
+    int next_payload = 0;
+
+    auto ref_pop = [&]() -> RefEvent* {
+      RefEvent* best = nullptr;
+      for (RefEvent& e : ref) {
+        if (!e.live) continue;
+        if (best == nullptr || e.time < best->time) best = &e;  // seq order = scan order
+      }
+      return best;
+    };
+
+    for (int step = 0; step < 3000; ++step) {
+      const double dice = rng.uniform();
+      if (dice < 0.55) {  // schedule
+        const SimTime t = milliseconds(rng.uniform_int(0, 500));
+        const int payload = next_payload++;
+        ids.push_back(q.schedule(t, [payload, &fired] { fired.push_back(payload); }));
+        ref.push_back({t, static_cast<std::uint64_t>(ref.size()), payload, true});
+      } else if (dice < 0.80 && !ids.empty()) {  // cancel a random id (maybe stale)
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+        ASSERT_EQ(q.pending(ids[idx]), ref[idx].live);
+        q.cancel(ids[idx]);
+        ref[idx].live = false;
+      } else if (!q.empty()) {  // pop one
+        auto ev = q.pop();
+        RefEvent* expect = ref_pop();
+        ASSERT_NE(expect, nullptr);
+        ASSERT_EQ(ev.time, expect->time);
+        expect->live = false;
+        const auto before = fired.size();
+        ev.cb();
+        ASSERT_EQ(fired.size(), before + 1);
+        ASSERT_EQ(fired.back(), expect->payload);
+      }
+    }
+    // Drain: remaining events must fire in exactly the reference order.
+    while (!q.empty()) {
+      auto ev = q.pop();
+      RefEvent* expect = ref_pop();
+      ASSERT_NE(expect, nullptr);
+      expect->live = false;
+      ev.cb();
+      ASSERT_EQ(fired.back(), expect->payload);
+    }
+    ASSERT_EQ(ref_pop(), nullptr);  // model drained too
+  }
 }
 
 // Property: a random mix of schedules and cancels always pops in

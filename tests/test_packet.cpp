@@ -19,28 +19,67 @@ TEST(Packet, CopyPreservesUid) {
   EXPECT_EQ(a.uid(), b.uid());
 }
 
-TEST(Packet, CopyDeepCopiesRoutingPayload) {
+TEST(Packet, CopySharesPayloadUntilMutation) {
   Packet a;
   auto rreq = std::make_unique<aodv::Rreq>();
   rreq->dest = 7;
   a.routing = std::move(rreq);
   Packet b = a;
-  auto* pa = dynamic_cast<aodv::Rreq*>(a.routing.get());
-  auto* pb = dynamic_cast<aodv::Rreq*>(b.routing.get());
-  ASSERT_NE(pa, nullptr);
+  // The copy is cheap: one payload object, shared read-only.
+  EXPECT_TRUE(a.routing.shares_with(b.routing));
+  EXPECT_EQ(a.routing.get(), b.routing.get());
+  // First mutation detaches the writer; the original is untouched.
+  auto* pb = dynamic_cast<aodv::Rreq*>(b.routing.mutate());
   ASSERT_NE(pb, nullptr);
-  EXPECT_NE(pa, pb);  // distinct objects
   pb->dest = 9;
-  EXPECT_EQ(pa->dest, 7u);  // original untouched
+  EXPECT_FALSE(a.routing.shares_with(b.routing));
+  const auto* pa = dynamic_cast<const aodv::Rreq*>(a.routing.get());
+  ASSERT_NE(pa, nullptr);
+  EXPECT_EQ(pa->dest, 7u);
 }
 
-TEST(Packet, AssignmentDeepCopies) {
+TEST(Packet, MutationNeverLeaksToSiblingCopies) {
+  // A broadcast: every receiver holds its own copy of one frame. A receiver
+  // that rewrites its source route (forwarding) must not perturb siblings.
+  Packet frame;
+  auto sr = std::make_unique<dsr::SourceRoute>();
+  sr->path = {0, 1, 2, 3};
+  sr->next_index = 1;
+  frame.routing = std::move(sr);
+  Packet rx1 = frame;
+  Packet rx2 = frame;
+  auto* mut = dynamic_cast<dsr::SourceRoute*>(rx1.routing.mutate());
+  ASSERT_NE(mut, nullptr);
+  ++mut->next_index;
+  mut->path.push_back(9);
+  for (const Packet* p : {&frame, &rx2}) {
+    const auto* s = dynamic_cast<const dsr::SourceRoute*>(p->routing.get());
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->next_index, 1u);
+    EXPECT_EQ(s->path.size(), 4u);
+  }
+  // rx2 and the original still share one object; only rx1 detached.
+  EXPECT_TRUE(frame.routing.shares_with(rx2.routing));
+  EXPECT_FALSE(frame.routing.shares_with(rx1.routing));
+}
+
+TEST(Packet, MutateWhenSoleOwnerDoesNotClone) {
+  Packet a;
+  a.routing = std::make_unique<aodv::Rreq>();
+  const RoutingPayload* before = a.routing.get();
+  EXPECT_EQ(a.routing.mutate(), before);  // no sharer, no copy
+}
+
+TEST(Packet, AssignmentSharesPayload) {
   Packet a;
   a.routing = std::make_unique<aodv::Rrep>();
   Packet b;
   b = a;
-  EXPECT_NE(a.routing.get(), b.routing.get());
+  EXPECT_EQ(a.routing.get(), b.routing.get());
   EXPECT_NE(b.routing, nullptr);
+  // Detaching b leaves a intact.
+  EXPECT_NE(b.routing.mutate(), nullptr);
+  EXPECT_NE(a.routing.get(), b.routing.get());
 }
 
 TEST(Packet, SelfAssignmentSafe) {

@@ -1,0 +1,3 @@
+#include "gate.hpp"
+
+int main(int argc, char** argv) { return manet::gate::run_cli(argc, argv); }

@@ -19,8 +19,8 @@
 // Suppressions: append `// manet-lint: <tag> - <rationale>` to the offending
 // line (or the line directly above it). Each rule has a tag (see rules()).
 // A rationale is mandatory — a suppression without one is itself a finding.
-// Whole-file opt-outs use `// manet-lint: disable(MLNT00X) - <rationale>`
-// within the first 40 lines.
+// Whole-file opt-outs use the same comment marker with a
+// `disable(MLNT00X) - <rationale>` directive within the first 40 lines.
 #pragma once
 
 #include <filesystem>
