@@ -241,4 +241,20 @@ inline ScenarioConfig sources_cell(Protocol p, double sources) {
   return cfg;
 }
 
+/// Fault suite: moderate Table-I-style network, sweep the expected number of
+/// crash/restart cycles per node. Slow mobility and a small area keep the
+/// fault-free baseline near-perfect, so the PDR delta is attributable to the
+/// injected crashes rather than to mobility churn.
+inline ScenarioConfig fault_cell(Protocol p, double crash_rate) {
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.seed = 1;
+  cfg.num_nodes = 30;
+  cfg.v_max = 5.0;
+  cfg.fault.crash_rate = crash_rate;
+  cfg.fault.downtime_mean = seconds(20);
+  cfg.fault.window_from = seconds(20);
+  return cfg;
+}
+
 }  // namespace manet::bench

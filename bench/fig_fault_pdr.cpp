@@ -1,0 +1,17 @@
+// Fault suite (extension): delivery ratio vs injected node-crash rate, all
+// seven protocols, 30 nodes at slow mobility so the fault-free column is the
+// near-perfect control. Expected shape: PDR falls monotonically with crash
+// rate for every protocol; the reactive protocols (AODV/DSR/CBRP/LAR)
+// degrade more gracefully than DSDV/OLSR because they re-discover routes on
+// demand after a restart instead of waiting out periodic update intervals.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  manet::bench::Suite suite("fig_fault_pdr");
+  const std::vector<manet::Protocol> all(std::begin(manet::kAllProtocols),
+                                         std::end(manet::kAllProtocols));
+  suite.add_sweep(all, "crash", {0, 1, 2}, manet::bench::Metric::kPdr,
+                  manet::bench::fault_cell);
+  return suite.run(argc, argv,
+                   "Fault suite — PDR vs node crash rate (all protocols, 30 nodes, 1000x1000 m)");
+}

@@ -39,6 +39,27 @@ void WifiMac::enqueue(Packet pkt) {
   ifq_.push_back(std::move(pkt));
 }
 
+void WifiMac::reset() {
+  sim_.cancel(difs_ev_);
+  sim_.cancel(nav_ev_);
+  sim_.cancel(backoff_ev_);
+  sim_.cancel(timeout_ev_);
+  if (current_.has_value()) {
+    if (current_->kind == PacketKind::kData) stats_.on_data_dropped(DropReason::kNodeDown);
+    current_.reset();
+  }
+  for (const Packet& p : ifq_) {
+    if (p.kind == PacketKind::kData) stats_.on_data_dropped(DropReason::kNodeDown);
+  }
+  ifq_.clear();
+  state_ = State::kIdle;
+  short_retries_ = long_retries_ = 0;
+  cw_ = cfg_.cw_min;
+  backoff_slots_ = 0;
+  nav_until_ = SimTime::zero();
+  rx_last_seq_.clear();
+}
+
 void WifiMac::start_service() {
   // The link-failure callback in finish_current() may re-enter enqueue() and
   // begin serving a new frame before we get here.
@@ -170,7 +191,9 @@ void WifiMac::transmit_current() {
     count_tx(p);
     const SimTime air = trx_.transmit(p);
     // No ACK for broadcast: the exchange completes when the air clears.
-    sim_.schedule(air, [this] { finish_current(true); });
+    // Tracked in timeout_ev_ (free on this path) so reset() can cancel it
+    // if the node crashes mid-broadcast.
+    timeout_ev_ = sim_.schedule(air, [this] { finish_current(true); });
     return;
   }
 
@@ -218,6 +241,7 @@ void WifiMac::transmit_data_frame() {
 void WifiMac::schedule_response(Packet frame) {
   sim_.schedule(cfg_.sifs, [this, frame] {
     if (trx_.transmitting()) return;  // lost the race to our own transmission
+    if (trx_.down()) return;          // crashed during the SIFS gap
     count_tx(frame);
     trx_.transmit(frame);
   });

@@ -60,6 +60,14 @@ class WifiMac final : public PhyListener {
     return ifq_.size() + (current_.has_value() ? 1 : 0);
   }
 
+  /// Fault injection: the node crashed. Cancels every pending MAC event,
+  /// drops the frame in service and the whole interface queue (data packets
+  /// are charged to DropReason::kNodeDown), and returns to a cold idle state
+  /// (fresh contention window, cleared NAV and duplicate-filter memory).
+  /// The transmit sequence counter survives so post-restart frames are never
+  /// mistaken for retries of pre-crash ones.
+  void reset();
+
   // PhyListener:
   void phy_busy_start() override;
   void phy_busy_end() override;

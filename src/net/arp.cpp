@@ -29,6 +29,15 @@ void Arp::send(Packet pkt, NodeId next_hop) {
   it->second.timer = sim_.schedule(kRetryDelay, [this, next_hop] { on_timeout(next_hop); });
 }
 
+void Arp::reset() {
+  for (auto& [target, pending] : pending_) {
+    sim_.cancel(pending.timer);
+    if (pending.pkt.kind == PacketKind::kData) stats_.on_data_dropped(DropReason::kNodeDown);
+  }
+  pending_.clear();
+  cache_.clear();
+}
+
 void Arp::drop_pending(Packet& pkt) {
   if (pkt.kind == PacketKind::kData) stats_.on_data_dropped(DropReason::kArpFail);
 }

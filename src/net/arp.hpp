@@ -44,6 +44,12 @@ class Arp {
   /// True if `next_hop` is already resolved (tests).
   [[nodiscard]] bool resolved(NodeId next_hop) const { return cache_.contains(next_hop); }
 
+  /// Fault injection: the node crashed. Cancels retry timers, drops waiting
+  /// data packets (DropReason::kNodeDown — not routed through the failure
+  /// handler, since the routing state is being flushed too) and empties the
+  /// cache, so resolution starts from scratch after restart.
+  void reset();
+
  private:
   struct Pending {
     Packet pkt;

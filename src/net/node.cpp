@@ -28,6 +28,13 @@ void Node::originate(Packet pkt) {
   pkt.ip.ttl = kInitialTtl;
   pkt.ip.proto = IpProto::kUdp;
   stats_.on_data_originated(pkt.app.flow);
+  if (down_) {
+    // The application keeps generating while its host is crashed (the flow
+    // doesn't know); those packets are offered load that the fault destroys,
+    // so they count against PDR rather than silently vanishing.
+    drop(pkt, DropReason::kNodeDown);
+    return;
+  }
   if (trace_ != nullptr) trace_->record('s', sim_.now(), id_, pkt);
   if (pkt.ip.dst == id_) {  // degenerate self-flow
     deliver_to_sink(pkt);
@@ -37,11 +44,38 @@ void Node::originate(Packet pkt) {
   routing_->route_packet(std::move(pkt));
 }
 
+void Node::crash() {
+  MANET_EXPECTS(!down_);
+  down_ = true;
+  trx_.set_down(true);
+  mac_.reset();
+  arp_.reset();
+  stats_.on_node_crash();
+  if (trace_ != nullptr) trace_->record_fault(sim_.now(), id_, "crash");
+}
+
+void Node::restart() {
+  MANET_EXPECTS(down_);
+  down_ = false;
+  trx_.set_down(false);
+  if (routing_ != nullptr) routing_->on_node_restart();
+  if (trace_ != nullptr) trace_->record_fault(sim_.now(), id_, "restart");
+}
+
 void Node::send_with_next_hop(Packet pkt, NodeId next_hop) {
+  if (down_) {
+    // Routing timers may still fire while down; their output goes nowhere.
+    drop(pkt, DropReason::kNodeDown);
+    return;
+  }
   arp_.send(std::move(pkt), next_hop);
 }
 
 void Node::send_broadcast(Packet pkt) {
+  if (down_) {
+    drop(pkt, DropReason::kNodeDown);
+    return;
+  }
   pkt.mac.dst = kBroadcast;
   mac_.enqueue(std::move(pkt));
 }
@@ -69,11 +103,16 @@ void Node::deliver_to_sink(const Packet& pkt) {
   }
   const SimTime delay = sim_.now() - pkt.app.sent_at;
   const auto hops = static_cast<std::uint32_t>(kInitialTtl - pkt.ip.ttl + 1);
-  stats_.on_data_delivered(delay, pkt.payload_bytes, hops, pkt.app.flow);
+  stats_.on_data_delivered(delay, pkt.payload_bytes, hops, pkt.app.flow, sim_.now());
   if (trace_ != nullptr) trace_->record('r', sim_.now(), id_, pkt);
 }
 
 void Node::mac_deliver(const Packet& frame) {
+  // The channel excludes down receivers and the transceiver corrupts
+  // receptions in flight at the crash instant, so nothing can reach here
+  // while down — the recovery-invariant suite depends on this.
+  MANET_ASSERT_MSG(!down_, "node %u t=%lldns: frame delivered to a crashed node", id_,
+                   static_cast<long long>(sim_.now().ns()));
   switch (frame.kind) {
     case PacketKind::kArp:
       arp_.on_receive(frame);

@@ -54,6 +54,18 @@ class Node final : public MacListener {
   /// headers, counts it, and hands it to the routing protocol.
   void originate(Packet pkt);
 
+  // -- fault injection ---------------------------------------------------------
+  /// Crash: power the radio down and flush the volatile stack state (MAC
+  /// queue, ARP cache, buffered frames). The routing protocol object stays
+  /// alive — its timers may fire while down, but the node gates every send
+  /// and the channel delivers nothing, so a down node is fully silent.
+  void crash();
+  /// Restart after a crash: radio up, routing state flushed cold via
+  /// RoutingProtocol::on_node_restart(). Idempotent pairing is the fault
+  /// plan's responsibility (crash/restart events strictly alternate).
+  void restart();
+  [[nodiscard]] bool down() const { return down_; }
+
   // -- services for the routing protocol ---------------------------------------
   /// Send a packet to a specific link-layer neighbour (ARP resolves).
   void send_with_next_hop(Packet pkt, NodeId next_hop);
@@ -89,6 +101,9 @@ class Node final : public MacListener {
   Arp arp_;
   RoutingProtocol* routing_ = nullptr;
   TraceWriter* trace_ = nullptr;
+  bool down_ = false;
+  // Survives crashes deliberately: the sink filter is measurement apparatus
+  // (PDR counts unique application packets), not protocol state.
   std::unordered_set<std::uint64_t> sink_seen_;
 };
 

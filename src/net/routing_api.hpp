@@ -33,6 +33,15 @@ class RoutingProtocol {
   /// the loss if it carried data.
   virtual void on_link_failure(const Packet& pkt, NodeId next_hop);
 
+  /// The host node restarted after a crash (fault injection). Protocols must
+  /// come back with *cold* state: routing tables, neighbour sets, duplicate
+  /// caches and pending discoveries flushed, buffered data dropped, exactly
+  /// as a rebooted router would. Monotonic identity counters (DSDV/OLSR
+  /// sequence numbers) may survive — real implementations persist them to
+  /// avoid their stale advertisements beating fresh ones. Default: nothing
+  /// to flush.
+  virtual void on_node_restart() {}
+
   [[nodiscard]] virtual const char* name() const = 0;
 
  protected:

@@ -12,7 +12,8 @@ Channel::Channel(Simulator& sim, const PhyConfig& cfg, Area area, SimTime refres
       cfg_(cfg),
       grid_(area, cfg.cs_range_m),
       refresh_(refresh),
-      loss_rng_(seed, "channel-loss") {
+      loss_rng_(seed, "channel-loss"),
+      fault_rng_(seed, "fault-corrupt") {
   MANET_EXPECTS(refresh > SimTime::zero());
   MANET_EXPECTS(cfg.frame_loss_rate >= 0.0 && cfg.frame_loss_rate < 1.0);
 }
@@ -49,7 +50,11 @@ Vec2 Channel::position_of(NodeId id) {
 SimTime Channel::transmit(NodeId sender, const Packet& frame) {
   MANET_EXPECTS(sender < trx_.size());
   const SimTime airtime = cfg_.airtime(frame.size_bytes());
+  // A crashed sender radiates nothing. (The node gates its own sends too;
+  // this catches MAC events already in flight at the crash instant.)
+  if (fault_ != nullptr && fault_->node_down(sender)) return airtime;
   const Vec2 src = position_of(sender);
+  const double corrupt_rate = fault_ != nullptr ? fault_->corrupt_rate() : 0.0;
 
   // Grid query with slack: a node may have moved up to v_max * refresh since
   // its slot was updated, and the sender itself is exact, hence one factor of
@@ -65,13 +70,25 @@ SimTime Channel::transmit(NodeId sender, const Packet& frame) {
   // k neighbours no longer deep-copies the frame k times.
   std::shared_ptr<const Packet> copy;
   for (const std::uint32_t id : scratch_) {
+    // A down receiver absorbs nothing — not even carrier energy; its radio
+    // is off. A blacked-out or partition-cut link is silent in both
+    // directions. Both checks precede any RNG draw so that fault-free runs
+    // consume the loss stream identically with or without a FaultRuntime.
+    if (fault_ != nullptr && fault_->node_down(id)) continue;
     const Vec2 dst = mob_[id]->position_at(sim_.now());
     grid_.update(id, dst);
+    if (fault_ != nullptr && fault_->link_blocked(sender, id, src, dst)) continue;
     const double d2 = distance2(src, dst);
     if (d2 > cs2) continue;
     const SimTime prop = cfg_.propagation(std::sqrt(d2));
     Transceiver* rx = trx_[id];
-    const bool faded = cfg_.frame_loss_rate > 0.0 && loss_rng_.chance(cfg_.frame_loss_rate);
+    bool faded = cfg_.frame_loss_rate > 0.0 && loss_rng_.chance(cfg_.frame_loss_rate);
+    if (d2 <= rx2 && !faded && corrupt_rate > 0.0 && fault_rng_.chance(corrupt_rate)) {
+      // Channel corruption: the frame still arrives as interference (the
+      // carrier-only path below), it just cannot be decoded.
+      faded = true;
+      if (stats_ != nullptr) stats_->on_fault_corruption(frame.kind == PacketKind::kData);
+    }
     if (d2 <= rx2 && !faded) {
       if (copy == nullptr) copy = arena_.make(frame);
       sim_.schedule(prop, [rx, copy, airtime] { rx->rx_start(copy.get(), airtime); });

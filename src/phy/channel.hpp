@@ -14,10 +14,12 @@
 
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
+#include "fault/fault.hpp"
 #include "geom/grid_index.hpp"
 #include "mobility/mobility_model.hpp"
 #include "phy/phy_config.hpp"
 #include "phy/transceiver.hpp"
+#include "stats/stats.hpp"
 
 namespace manet {
 
@@ -48,6 +50,14 @@ class Channel {
   /// Exposed for tests and for topology dumps in examples.
   std::vector<NodeId> neighbors_of(NodeId id, double radius);
 
+  // -- fault injection --------------------------------------------------------
+  /// Attach the fault masks (crashed nodes, blacked-out links, corruption
+  /// rate). Null (the default) means no faults; transmit() then takes its
+  /// original path with zero extra RNG draws.
+  void set_fault(const FaultRuntime* fault) { fault_ = fault; }
+  /// Sink for corruption accounting (optional).
+  void set_stats(StatsCollector* stats) { stats_ = stats; }
+
  private:
   void refresh_positions();
 
@@ -56,6 +66,9 @@ class Channel {
   GridIndex grid_;
   SimTime refresh_;
   RngStream loss_rng_;
+  RngStream fault_rng_;  ///< corruption draws; untouched outside corrupt windows
+  const FaultRuntime* fault_ = nullptr;
+  StatsCollector* stats_ = nullptr;
   PacketArena arena_;  ///< pools the per-transmission delivery copies
   double max_speed_ = 0.0;
   std::vector<Transceiver*> trx_;

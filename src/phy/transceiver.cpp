@@ -41,7 +41,17 @@ void Transceiver::tx_end() {
   update_busy_edges(was_busy);
 }
 
+void Transceiver::set_down(bool down) {
+  down_ = down;
+  if (down) {
+    // A crash mid-reception loses the frame; the pending rx_end events still
+    // drain active_ and rx_energy_ normally.
+    for (auto& rx : active_) rx.corrupted = true;
+  }
+}
+
 void Transceiver::rx_start(const Packet* frame, SimTime airtime) {
+  if (down_) return;
   const bool was_busy = medium_busy();
   ActiveRx rx;
   rx.key = next_key_++;

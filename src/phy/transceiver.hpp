@@ -62,6 +62,13 @@ class Transceiver {
   /// but within carrier-sense range).
   void rx_start(const Packet* frame, SimTime airtime);
 
+  // -- fault injection --------------------------------------------------------
+  /// Power the radio down/up. While down, new arrivals are ignored and any
+  /// reception already in flight is corrupted; rx_end events for those still
+  /// fire, keeping the energy bookkeeping balanced.
+  void set_down(bool down);
+  [[nodiscard]] bool down() const { return down_; }
+
   // -- introspection for tests -----------------------------------------------
   [[nodiscard]] std::uint64_t frames_received() const { return frames_rx_; }
   [[nodiscard]] std::uint64_t frames_corrupted() const { return frames_corrupt_; }
@@ -88,6 +95,7 @@ class Transceiver {
   StatsCollector* stats_ = nullptr;
 
   bool transmitting_ = false;
+  bool down_ = false;
   int rx_energy_ = 0;
   std::vector<ActiveRx> active_;
   std::uint64_t next_key_ = 0;

@@ -365,6 +365,20 @@ void Aodv::on_link_failure(const Packet& pkt, NodeId next_hop) {
   }
 }
 
+void Aodv::on_node_restart() {
+  // Cold reboot: every table, pending discovery and buffered packet goes.
+  // Own seq_ and rreq_id_ survive (monotonic identity — RFC 3561 §6.1 keeps
+  // the sequence number across reboots precisely so stale pre-crash
+  // advertisements cannot beat post-restart ones).
+  // manet-lint: order-independent - only cancels timers; no packet is emitted
+  for (auto& [dst, d] : discovering_) node_.sim().cancel(d.timer);
+  discovering_.clear();
+  routes_.clear();
+  rreq_seen_.clear();
+  hello_heard_.clear();
+  buffer_.clear(DropReason::kNodeDown);
+}
+
 // ---------------------------------------------------------------------------
 // Housekeeping
 // ---------------------------------------------------------------------------

@@ -472,4 +472,22 @@ void Cbrp::flush_buffer(NodeId dst) {
   for (Packet& pkt : buffer_.take(dst)) route_packet(std::move(pkt));
 }
 
+void Cbrp::on_node_restart() {
+  // Cold reboot: back to an UNDECIDED node with an empty neighbour table —
+  // cluster formation restarts from the listening phase, exactly like a
+  // node freshly joining the network. next_req_id_ survives (see DSR).
+  // manet-lint: order-independent - only cancels timers; no packet is emitted
+  for (auto& [target, d] : discovering_) node_.sim().cancel(d.timer);
+  discovering_.clear();
+  neighbors_.clear();
+  route_table_.clear();
+  rreq_seen_.clear();
+  buffer_.clear(DropReason::kNodeDown);
+  role_ = Role::kUndecided;
+  head_ = kBroadcast;
+  gateway_ = false;
+  contested_rounds_ = 0;
+  hello_rounds_ = 0;
+}
+
 }  // namespace manet::cbrp

@@ -55,6 +55,7 @@ class Cbrp final : public RoutingProtocol {
   void route_packet(Packet pkt) override;
   void on_control(const Packet& pkt, NodeId from) override;
   void on_link_failure(const Packet& pkt, NodeId next_hop) override;
+  void on_node_restart() override;
   [[nodiscard]] const char* name() const override { return "CBRP"; }
 
   // -- introspection (tests) -------------------------------------------------

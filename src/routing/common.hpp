@@ -77,6 +77,12 @@ class PacketBuffer {
     }
   }
 
+  /// Drop everything, counting `reason` per data packet (node restart).
+  void clear(DropReason reason) {
+    for (const Entry& e : entries_) count_drop(e.pkt, reason);
+    entries_.clear();
+  }
+
   [[nodiscard]] std::size_t size() {
     purge_expired();
     return entries_.size();

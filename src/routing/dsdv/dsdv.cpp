@@ -151,6 +151,18 @@ void Dsdv::on_link_failure(const Packet& pkt, NodeId next_hop) {
   node_.drop(pkt, DropReason::kMacRetryLimit);
 }
 
+void Dsdv::on_node_restart() {
+  // Cold reboot: the table is rebuilt from scratch out of neighbours' next
+  // periodic dumps. own_seq_ survives (destination-generated sequence
+  // numbers must stay monotonic across reboots, or every pre-crash
+  // advertisement of us would beat our fresh ones for 15 s). The periodic
+  // full-update event kept firing while down — its broadcasts were gated by
+  // the node — so advertising resumes by itself.
+  routes_.clear();
+  trigger_pending_ = false;
+  last_triggered_ = SimTime::zero();
+}
+
 std::optional<Dsdv::RouteInfo> Dsdv::route_to(NodeId dst) const {
   const auto it = routes_.find(dst);
   if (it == routes_.end() || it->second.hops == kInfinity) return std::nullopt;

@@ -344,4 +344,16 @@ void Dsr::flush_buffer(NodeId dst) {
   for (Packet& pkt : buffer_.take(dst)) route_packet(std::move(pkt));
 }
 
+void Dsr::on_node_restart() {
+  // Cold reboot: route cache, pending discoveries, duplicate filter and the
+  // send buffer all go. next_req_id_ survives so a post-restart RREQ is not
+  // suppressed by a neighbour's stale (origin, req_id) memory of the old one.
+  // manet-lint: order-independent - only cancels timers; no packet is emitted
+  for (auto& [target, d] : discovering_) node_.sim().cancel(d.timer);
+  discovering_.clear();
+  rreq_seen_.clear();
+  cache_.clear();
+  buffer_.clear(DropReason::kNodeDown);
+}
+
 }  // namespace manet::dsr

@@ -51,6 +51,7 @@ class Dsr final : public RoutingProtocol {
   void route_packet(Packet pkt) override;
   void on_control(const Packet& pkt, NodeId from) override;
   void on_link_failure(const Packet& pkt, NodeId next_hop) override;
+  void on_node_restart() override;
   [[nodiscard]] const char* name() const override { return "DSR"; }
 
   // -- introspection (tests) -------------------------------------------------

@@ -40,6 +40,9 @@ class RouteCache {
   /// Number of live cached paths.
   [[nodiscard]] std::size_t size(SimTime now) const;
 
+  /// Forget every cached path (node restart).
+  void clear() { entries_.clear(); }
+
  private:
   struct Entry {
     Path path;

@@ -297,4 +297,17 @@ void Lar::flush_buffer(NodeId dst) {
   for (Packet& pkt : buffer_.take(dst)) route_packet(std::move(pkt));
 }
 
+void Lar::on_node_restart() {
+  // Cold reboot: cached routes, learned destination locations (the "GPS
+  // last-seen" table), pending discoveries and buffered data all go.
+  // next_req_id_ survives (see DSR).
+  // manet-lint: order-independent - only cancels timers; no packet is emitted
+  for (auto& [target, d] : discovering_) node_.sim().cancel(d.timer);
+  discovering_.clear();
+  locations_.clear();
+  routes_.clear();
+  rreq_seen_.clear();
+  buffer_.clear(DropReason::kNodeDown);
+}
+
 }  // namespace manet::lar

@@ -272,4 +272,21 @@ void Olsr::route_packet(Packet pkt) {
   node_.send_with_next_hop(std::move(pkt), *next);
 }
 
+void Olsr::on_node_restart() {
+  // Cold reboot: link sensing, 2-hop sets, MPRs, selector sets, learned
+  // topology and the duplicate filter all go; routing recomputes from an
+  // empty link state. ansn_ and msg_seq_ survive (RFC 3626 freshness: a
+  // restarted node's first TC must not lose to its own pre-crash ANSN held
+  // in neighbours' topology sets). The periodic HELLO/TC events kept firing
+  // while down — their broadcasts were gated by the node.
+  links_.clear();
+  twohop_.clear();
+  mpr_set_.clear();
+  selector_set_.clear();
+  topology_.clear();
+  dup_set_.clear();
+  routes_ = SpfResult{};
+  routes_dirty_ = true;
+}
+
 }  // namespace manet::olsr

@@ -70,6 +70,7 @@ class Olsr final : public RoutingProtocol {
   void start() override;
   void route_packet(Packet pkt) override;
   void on_control(const Packet& pkt, NodeId from) override;
+  void on_node_restart() override;
   [[nodiscard]] const char* name() const override { return "OLSR"; }
 
   // -- introspection (tests) -------------------------------------------------

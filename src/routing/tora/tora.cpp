@@ -246,4 +246,14 @@ void Tora::on_link_failure(const Packet& pkt, NodeId next_hop) {
   route_packet(std::move(retry));
 }
 
+void Tora::on_node_restart() {
+  // Cold reboot: all heights, neighbour heights and liveness go — the node
+  // rejoins the DAGs with null height and re-queries on demand. The beacon
+  // event kept firing while down (gated by the node), so neighbours relearn
+  // us from the first post-restart beacon.
+  neighbors_.clear();
+  dests_.clear();
+  buffer_.clear(DropReason::kNodeDown);
+}
+
 }  // namespace manet::tora

@@ -43,6 +43,7 @@ struct Aggregate {
   Metric throughput_kbps;
   Metric avg_hops;
   Metric connectivity;  ///< oracle PDR upper bound
+  Metric repair_latency_ms;  ///< fault-heal -> next-delivery latency
   std::uint64_t total_events = 0;
   int replications = 0;
 
@@ -71,6 +72,7 @@ inline constexpr MetricDef kMetricDefs[] = {
     {"throughput_kbps", &ScenarioResult::throughput_kbps, &Aggregate::throughput_kbps},
     {"avg_hops", &ScenarioResult::avg_hops, &Aggregate::avg_hops},
     {"connectivity", &ScenarioResult::connectivity, &Aggregate::connectivity},
+    {"repair_latency_ms", &ScenarioResult::repair_latency_ms, &Aggregate::repair_latency_ms},
 };
 
 template <typename F>

@@ -15,6 +15,7 @@
 #include "app/cbr.hpp"
 #include "app/onoff.hpp"
 #include "core/simulator.hpp"
+#include "fault/fault.hpp"
 #include "mac/mac_config.hpp"
 #include "mobility/gauss_markov.hpp"
 #include "mobility/manhattan.hpp"
@@ -90,6 +91,10 @@ struct ScenarioConfig {
   // Duration.
   SimTime duration = seconds(150);
 
+  /// Fault injection (disabled by default). When enabled, the schedule is
+  /// compiled from (fault, seed) before the run starts; see src/fault/.
+  FaultConfig fault;
+
   /// When non-empty, write an ns-2-style event trace to this path.
   std::string trace_path;
 
@@ -133,6 +138,14 @@ struct ScenarioResult {
   std::uint64_t events = 0;
   /// High-water mark of the event queue during the run (profiling).
   std::size_t peak_queue_depth = 0;
+
+  // Fault-injection outcomes (all zero for fault-free runs).
+  /// Mean time from an outage healing to the next delivered data packet, ms.
+  double repair_latency_ms = 0.0;
+  std::uint64_t crashes = 0;
+  std::uint64_t fault_corrupted = 0;
+  std::uint64_t delivered_during_fault = 0;
+  std::uint64_t delivered_after_fault = 0;
 };
 
 class Scenario {
@@ -155,9 +168,12 @@ class Scenario {
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_[i]; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] RoutingProtocol& routing(std::size_t i) { return *protocols_[i]; }
+  /// The compiled fault schedule (empty when fault injection is disabled).
+  [[nodiscard]] const FaultPlan& fault_plan() const { return fault_plan_; }
 
  private:
   void sample_connectivity();
+  void apply_fault(const FaultEvent& ev);
 
   ScenarioConfig cfg_;
   Simulator sim_;
@@ -168,6 +184,8 @@ class Scenario {
   std::vector<std::unique_ptr<CbrSource>> sources_;
   std::vector<std::unique_ptr<OnOffSource>> onoff_sources_;
   std::unique_ptr<TraceWriter> trace_;
+  FaultPlan fault_plan_;
+  FaultRuntime fault_runtime_;
   std::vector<std::pair<NodeId, NodeId>> flows_;
   std::uint64_t conn_samples_ = 0;
   std::uint64_t conn_connected_ = 0;

@@ -15,6 +15,7 @@ const char* to_string(DropReason r) {
     case DropReason::kArpFail: return "arp-fail";
     case DropReason::kLoop: return "routing-loop";
     case DropReason::kProtocol: return "protocol-discard";
+    case DropReason::kNodeDown: return "node-down";
     case DropReason::kCount_: break;
   }
   return "?";
@@ -26,7 +27,7 @@ void StatsCollector::on_data_originated(std::uint32_t flow) {
 }
 
 void StatsCollector::on_data_delivered(SimTime delay, std::size_t payload_bytes,
-                                       std::uint32_t hops, std::uint32_t flow) {
+                                       std::uint32_t hops, std::uint32_t flow, SimTime at) {
   ++data_delivered_;
   delay_sum_s_ += delay.sec();
   delivered_bytes_ += payload_bytes;
@@ -34,6 +35,34 @@ void StatsCollector::on_data_delivered(SimTime delay, std::size_t payload_bytes,
   FlowStats& f = flows_[flow];
   ++f.delivered;
   f.delay_sum_s += delay.sec();
+
+  // Fault-recovery bookkeeping. `at` is zero (and the fault counters idle)
+  // unless the scenario armed a fault plan.
+  if (active_faults_ > 0) {
+    ++delivered_during_fault_;
+  } else if (any_heal_) {
+    ++delivered_after_fault_;
+  }
+  if (!pending_heals_.empty()) {
+    for (const SimTime heal : pending_heals_) {
+      repair_latency_sum_s_ += (at - heal).sec();
+      ++repair_latency_samples_;
+    }
+    pending_heals_.clear();
+  }
+}
+
+void StatsCollector::on_fault_begin(SimTime /*at*/) { ++active_faults_; }
+
+void StatsCollector::on_fault_end(SimTime at) {
+  --active_faults_;
+  any_heal_ = true;
+  pending_heals_.push_back(at);
+}
+
+double StatsCollector::mean_repair_latency_s() const {
+  if (repair_latency_samples_ == 0) return 0.0;
+  return repair_latency_sum_s_ / static_cast<double>(repair_latency_samples_);
 }
 
 StatsCollector::FlowStats StatsCollector::flow(std::uint32_t id) const {
@@ -100,6 +129,11 @@ std::string StatsCollector::summary(SimTime duration) const {
     }
   }
   os << '\n';
+  if (crashes_ != 0 || fault_corrupted_ != 0 || any_heal_) {
+    os << "faults: " << crashes_ << " crashes, " << fault_corrupted_ << " frames corrupted, "
+       << delivered_during_fault_ << " delivered during / " << delivered_after_fault_
+       << " after outages, repair " << mean_repair_latency_s() * 1e3 << " ms avg\n";
+  }
   if (!flows_.empty()) {
     os << "per-flow:";
     for (const auto& [id, f] : flows_) {

@@ -33,6 +33,7 @@ enum class DropReason : std::uint8_t {
   kArpFail,         ///< ARP could not resolve next hop
   kLoop,            ///< routing loop detected (same packet seen again)
   kProtocol,        ///< protocol-specific discard (e.g. stale source route)
+  kNodeDown,        ///< held by a node that crashed (fault injection)
   kCount_
 };
 
@@ -42,8 +43,10 @@ class StatsCollector {
  public:
   // -- data path -----------------------------------------------------------
   void on_data_originated(std::uint32_t flow = 0);
+  /// `at` (absolute sim-time of the delivery) feeds the fault-recovery
+  /// metrics; the zero default keeps fault-free call sites unchanged.
   void on_data_delivered(SimTime delay, std::size_t payload_bytes, std::uint32_t hops,
-                         std::uint32_t flow = 0);
+                         std::uint32_t flow = 0, SimTime at = SimTime::zero());
   void on_data_dropped(DropReason r) { ++drops_[static_cast<std::size_t>(r)]; }
   /// A further copy of an already-delivered packet reached the sink (route
   /// flaps, flooding protocols); not counted in PDR.
@@ -62,6 +65,29 @@ class StatsCollector {
   void on_collision() { ++collisions_; }
   void on_tx_energy(double joules) { energy_tx_j_ += joules; }
   void on_rx_energy(double joules) { energy_rx_j_ += joules; }
+
+  // -- fault injection -------------------------------------------------------
+  void on_node_crash() { ++crashes_; }
+  /// A decodable frame was corrupted by the channel fault process.
+  void on_fault_corruption(bool data_frame) {
+    ++fault_corrupted_;
+    if (data_frame) ++fault_corrupted_data_;
+  }
+  /// A connectivity fault (crash, link blackout, partition) began/healed.
+  /// Corruption windows are deliberately not counted: they degrade links
+  /// without severing them, so they don't define an outage to recover from.
+  void on_fault_begin(SimTime at);
+  void on_fault_end(SimTime at);
+
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t fault_corrupted() const { return fault_corrupted_; }
+  [[nodiscard]] std::uint64_t fault_corrupted_data() const { return fault_corrupted_data_; }
+  [[nodiscard]] std::uint64_t delivered_during_fault() const { return delivered_during_fault_; }
+  [[nodiscard]] std::uint64_t delivered_after_fault() const { return delivered_after_fault_; }
+  /// Mean time from a fault healing to the next successful data delivery —
+  /// the observable route-repair latency. 0 if no heal was ever followed by
+  /// a delivery.
+  [[nodiscard]] double mean_repair_latency_s() const;
 
   // -- raw counters ---------------------------------------------------------
   [[nodiscard]] std::uint64_t data_originated() const { return data_originated_; }
@@ -139,6 +165,20 @@ class StatsCollector {
   double delay_sum_s_ = 0.0;
   std::uint64_t drops_[static_cast<std::size_t>(DropReason::kCount_)] = {};
   std::map<std::uint32_t, FlowStats> flows_;
+
+  // Fault accounting.
+  std::uint64_t crashes_ = 0;
+  std::uint64_t fault_corrupted_ = 0;
+  std::uint64_t fault_corrupted_data_ = 0;
+  std::uint64_t delivered_during_fault_ = 0;
+  std::uint64_t delivered_after_fault_ = 0;
+  int active_faults_ = 0;
+  bool any_heal_ = false;
+  /// Heal instants not yet matched with a delivery; drained (one repair-
+  /// latency sample each) by the first delivery at or after them.
+  std::vector<SimTime> pending_heals_;
+  double repair_latency_sum_s_ = 0.0;
+  std::uint64_t repair_latency_samples_ = 0;
 };
 
 }  // namespace manet
