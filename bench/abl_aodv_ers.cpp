@@ -10,12 +10,12 @@ int main(int argc, char** argv) {
     for (const double vmax : {5.0, 20.0}) {
       char name[64];
       std::snprintf(name, sizeof name, "AODV/ers:%s/vmax:%g", ers ? "on" : "off", vmax);
-      ScenarioConfig cfg;
-      cfg.protocol = Protocol::kAodv;
-      cfg.seed = 1;
-      cfg.v_max = vmax;
-      cfg.aodv.expanding_ring = ers;
-      suite.add(name, cfg);
+      suite.add(name, ScenarioBuilder()
+                          .protocol(Protocol::kAodv)
+                          .seed(1)
+                          .speed(0.1, vmax)
+                          .with([ers](ScenarioConfig& c) { c.aodv.expanding_ring = ers; })
+                          .build());
     }
   }
   return suite.run(argc, argv, "Ablation — AODV expanding-ring search on vs off (50 nodes)");

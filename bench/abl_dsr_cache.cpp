@@ -11,12 +11,12 @@ int main(int argc, char** argv) {
       char name[64];
       std::snprintf(name, sizeof name, "DSR/cache_reply:%s/vmax:%g", cache ? "on" : "off",
                     vmax);
-      ScenarioConfig cfg;
-      cfg.protocol = Protocol::kDsr;
-      cfg.seed = 1;
-      cfg.v_max = vmax;
-      cfg.dsr.intermediate_reply = cache;
-      suite.add(name, cfg);
+      suite.add(name, ScenarioBuilder()
+                          .protocol(Protocol::kDsr)
+                          .seed(1)
+                          .speed(0.1, vmax)
+                          .with([cache](ScenarioConfig& c) { c.dsr.intermediate_reply = cache; })
+                          .build());
     }
   }
   return suite.run(argc, argv, "Ablation — DSR cache replies on vs off (50 nodes)");

@@ -10,12 +10,14 @@ int main(int argc, char** argv) {
     for (const double depth : {5.0, 20.0, 50.0, 200.0}) {
       char name[64];
       std::snprintf(name, sizeof name, "%s/ifq:%g", to_string(p), depth);
-      ScenarioConfig cfg;
-      cfg.protocol = p;
-      cfg.seed = 1;
-      cfg.v_max = 10.0;
-      cfg.mac.ifq_capacity = static_cast<std::size_t>(depth);
-      suite.add(name, cfg);
+      suite.add(name, ScenarioBuilder()
+                          .protocol(p)
+                          .seed(1)
+                          .speed(0.1, 10.0)
+                          .with([depth](ScenarioConfig& c) {
+                            c.mac.ifq_capacity = static_cast<std::size_t>(depth);
+                          })
+                          .build());
     }
   }
   return suite.run(argc, argv, "Ablation — interface queue depth (50 nodes, v_max 10)");

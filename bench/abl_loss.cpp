@@ -11,12 +11,8 @@ int main(int argc, char** argv) {
     for (const double loss : {0.0, 0.05, 0.15, 0.3}) {
       char name[64];
       std::snprintf(name, sizeof name, "%s/loss:%g", to_string(p), loss);
-      ScenarioConfig cfg;
-      cfg.protocol = p;
-      cfg.seed = 1;
-      cfg.v_max = 10.0;
-      cfg.phy.frame_loss_rate = loss;
-      suite.add(name, cfg);
+      suite.add(name,
+                ScenarioBuilder().protocol(p).seed(1).speed(0.1, 10.0).frame_loss(loss).build());
     }
   }
   return suite.run(argc, argv, "Ablation — per-frame loss rate (50 nodes, v_max 10 m/s)");

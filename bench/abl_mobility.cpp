@@ -14,12 +14,8 @@ int main(int argc, char** argv) {
   };
   for (const Protocol p : {Protocol::kAodv, Protocol::kDsr, Protocol::kOlsr}) {
     for (const auto& [kind, label] : kinds) {
-      ScenarioConfig cfg;
-      cfg.protocol = p;
-      cfg.seed = 1;
-      cfg.mobility = kind;
-      cfg.v_max = 10.0;
-      suite.add(std::string(to_string(p)) + "/" + label, cfg);
+      suite.add(std::string(to_string(p)) + "/" + label,
+                ScenarioBuilder().protocol(p).seed(1).mobility(kind).speed(0.1, 10.0).build());
     }
   }
   return suite.run(argc, argv, "Extension — mobility models x protocols (50 nodes, v_max 10)");

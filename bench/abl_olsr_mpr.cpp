@@ -10,13 +10,13 @@ int main(int argc, char** argv) {
     for (const double nodes : {30.0, 50.0, 70.0}) {
       char name[64];
       std::snprintf(name, sizeof name, "OLSR/mpr:%s/nodes:%g", mpr ? "on" : "off", nodes);
-      ScenarioConfig cfg;
-      cfg.protocol = Protocol::kOlsr;
-      cfg.seed = 1;
-      cfg.num_nodes = static_cast<std::uint32_t>(nodes);
-      cfg.v_max = 10.0;
-      cfg.olsr.mpr_flooding = mpr;
-      suite.add(name, cfg);
+      suite.add(name, ScenarioBuilder()
+                          .protocol(Protocol::kOlsr)
+                          .seed(1)
+                          .nodes(static_cast<std::uint32_t>(nodes))
+                          .speed(0.1, 10.0)
+                          .with([mpr](ScenarioConfig& c) { c.olsr.mpr_flooding = mpr; })
+                          .build());
     }
   }
   return suite.run(argc, argv,

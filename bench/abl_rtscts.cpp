@@ -9,12 +9,13 @@ int main(int argc, char** argv) {
   bench::Suite suite("abl_rtscts");
   for (const Protocol p : {Protocol::kAodv, Protocol::kDsr, Protocol::kOlsr}) {
     for (const bool rts : {true, false}) {
-      ScenarioConfig cfg;
-      cfg.protocol = p;
-      cfg.seed = 1;
-      cfg.v_max = 10.0;
-      cfg.mac.use_rts = rts;
-      suite.add(std::string(to_string(p)) + (rts ? "/rtscts:on" : "/rtscts:off"), cfg);
+      suite.add(std::string(to_string(p)) + (rts ? "/rtscts:on" : "/rtscts:off"),
+                ScenarioBuilder()
+                    .protocol(p)
+                    .seed(1)
+                    .speed(0.1, 10.0)
+                    .with([rts](ScenarioConfig& c) { c.mac.use_rts = rts; })
+                    .build());
     }
   }
   return suite.run(argc, argv, "Ablation — RTS/CTS on vs off (50 nodes, v_max 10 m/s)");

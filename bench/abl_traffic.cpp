@@ -9,15 +9,13 @@ int main(int argc, char** argv) {
   bench::Suite suite("abl_traffic");
   for (const Protocol p : {Protocol::kAodv, Protocol::kDsr, Protocol::kOlsr}) {
     for (const TrafficKind t : {TrafficKind::kCbr, TrafficKind::kOnOff}) {
-      ScenarioConfig cfg;
-      cfg.protocol = p;
-      cfg.seed = 1;
-      cfg.v_max = 10.0;
-      cfg.traffic = t;
+      ScenarioBuilder b;
+      b.protocol(p).seed(1).speed(0.1, 10.0).traffic(t);
       // ON/OFF sends ~half the time; double the connections to keep the
       // average offered load comparable with the CBR column.
-      if (t == TrafficKind::kOnOff) cfg.num_connections = 20;
-      suite.add(std::string(to_string(p)) + (t == TrafficKind::kCbr ? "/cbr" : "/onoff"), cfg);
+      if (t == TrafficKind::kOnOff) b.connections(20);
+      suite.add(std::string(to_string(p)) + (t == TrafficKind::kCbr ? "/cbr" : "/onoff"),
+                b.build());
     }
   }
   return suite.run(argc, argv, "Extension — CBR vs exponential ON/OFF traffic (50 nodes)");

@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "scenario/builder.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
@@ -192,53 +193,54 @@ inline const std::vector<Protocol> kReactiveTrio = {Protocol::kAodv, Protocol::k
                                                     Protocol::kCbrp};
 
 // -- canonical cell configs --------------------------------------------------
+// All built through ScenarioBuilder so every bench cell is validated before
+// the sweep starts (a bad sweep axis fails fast, not three cells in).
 
 /// Mobility suite: Table-I defaults, sweep node max speed (0 = static).
 inline ScenarioConfig mobility_cell(Protocol p, double v_max) {
-  ScenarioConfig cfg;
-  cfg.protocol = p;
-  cfg.seed = 1;
+  ScenarioBuilder b;
+  b.protocol(p).seed(1);
   if (v_max <= 0.0) {
-    cfg.static_nodes = true;
+    b.static_nodes();
   } else {
-    cfg.v_max = v_max;
+    b.speed(0.1, v_max);
   }
-  return cfg;
+  return b.build();
 }
 
 /// Density suite: sweep node count at moderate mobility.
 inline ScenarioConfig density_cell(Protocol p, double nodes) {
-  ScenarioConfig cfg;
-  cfg.protocol = p;
-  cfg.seed = 1;
-  cfg.num_nodes = static_cast<std::uint32_t>(nodes);
-  cfg.v_max = 10.0;
-  return cfg;
+  return ScenarioBuilder()
+      .protocol(p)
+      .seed(1)
+      .nodes(static_cast<std::uint32_t>(nodes))
+      .speed(0.1, 10.0)
+      .build();
 }
 
 /// Pause-time suite (Boukerche-style): 40 nodes in 1500 x 300 m, v_max 20,
 /// sweep pause time.
 inline ScenarioConfig pause_cell(Protocol p, double pause_s) {
-  ScenarioConfig cfg;
-  cfg.protocol = p;
-  cfg.seed = 1;
-  cfg.num_nodes = 40;
-  cfg.area = {1500.0, 300.0};
-  cfg.v_max = 20.0;
-  cfg.pause = seconds_f(pause_s);
-  return cfg;
+  return ScenarioBuilder()
+      .protocol(p)
+      .seed(1)
+      .nodes(40)
+      .area(1500.0, 300.0)
+      .speed(0.1, 20.0)
+      .pause(seconds_f(pause_s))
+      .build();
 }
 
 /// Offered-load suite: 40 nodes, sweep the number of CBR sources.
 inline ScenarioConfig sources_cell(Protocol p, double sources) {
-  ScenarioConfig cfg;
-  cfg.protocol = p;
-  cfg.seed = 1;
-  cfg.num_nodes = 40;
-  cfg.area = {1500.0, 300.0};
-  cfg.v_max = 10.0;
-  cfg.num_connections = static_cast<std::uint32_t>(sources);
-  return cfg;
+  return ScenarioBuilder()
+      .protocol(p)
+      .seed(1)
+      .nodes(40)
+      .area(1500.0, 300.0)
+      .speed(0.1, 10.0)
+      .connections(static_cast<std::uint32_t>(sources))
+      .build();
 }
 
 /// Fault suite: moderate Table-I-style network, sweep the expected number of
@@ -246,15 +248,11 @@ inline ScenarioConfig sources_cell(Protocol p, double sources) {
 /// fault-free baseline near-perfect, so the PDR delta is attributable to the
 /// injected crashes rather than to mobility churn.
 inline ScenarioConfig fault_cell(Protocol p, double crash_rate) {
-  ScenarioConfig cfg;
-  cfg.protocol = p;
-  cfg.seed = 1;
-  cfg.num_nodes = 30;
-  cfg.v_max = 5.0;
-  cfg.fault.crash_rate = crash_rate;
-  cfg.fault.downtime_mean = seconds(20);
-  cfg.fault.window_from = seconds(20);
-  return cfg;
+  FaultConfig fault;
+  fault.crash_rate = crash_rate;
+  fault.downtime_mean = seconds(20);
+  fault.window_from = seconds(20);
+  return ScenarioBuilder().protocol(p).seed(1).nodes(30).speed(0.1, 5.0).fault(fault).build();
 }
 
 }  // namespace manet::bench

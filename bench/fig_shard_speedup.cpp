@@ -1,0 +1,28 @@
+// Kernel bench: event rate vs shard count for the conservative-parallel
+// prototype. Same scenario, same seed, MANET_SHARDS ∈ {1, 2, 4} — the
+// metrics must be identical by construction (test_shards proves it); the
+// interesting column is ev_per_s. In this prototype callbacks still execute
+// serially on the coordinator, so the expected speedup is modest (the
+// parallel phase is the per-node mobility integration) and the 1-shard rows
+// double as a regression watch on the sharded bookkeeping overhead.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace manet;
+  bench::Suite suite("fig_shard_speedup");
+  for (const Protocol p : {Protocol::kAodv, Protocol::kOlsr}) {
+    for (const std::uint32_t shards : {1u, 2u, 4u}) {
+      char name[64];
+      std::snprintf(name, sizeof name, "%s/shards:%u", to_string(p), shards);
+      suite.add(name, ScenarioBuilder()
+                          .protocol(p)
+                          .seed(1)
+                          .nodes(70)
+                          .speed(0.1, 10.0)
+                          .shards(shards)
+                          .build());
+    }
+  }
+  return suite.run(argc, argv,
+                   "Kernel — events/s vs shard count (identical metrics by construction)");
+}

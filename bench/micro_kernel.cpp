@@ -7,6 +7,7 @@
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
 #include "geom/grid_index.hpp"
+#include "scenario/builder.hpp"
 #include "scenario/scenario.hpp"
 
 namespace {
@@ -68,12 +69,12 @@ BENCHMARK(GridQuery);
 void ScenarioEventRate(benchmark::State& state) {
   std::uint64_t events = 0;
   for (auto _ : state) {
-    ScenarioConfig cfg;
-    cfg.protocol = Protocol::kAodv;
-    cfg.num_nodes = 30;
-    cfg.duration = seconds(20);
-    cfg.seed = static_cast<std::uint64_t>(state.iterations());
-    const auto r = Scenario::run_once(cfg);
+    const auto r = Scenario::run_once(ScenarioBuilder()
+                                          .protocol(Protocol::kAodv)
+                                          .nodes(30)
+                                          .duration(seconds(20))
+                                          .seed(static_cast<std::uint64_t>(state.iterations()))
+                                          .build());
     events += r.events;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));

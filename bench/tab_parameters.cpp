@@ -7,9 +7,9 @@ int main(int argc, char** argv) {
   std::printf("Table I — Simulation parameters\n\n%s\n", defaults.parameter_table().c_str());
 
   manet::bench::Suite suite("tab_parameters", /*default_seeds=*/1);
-  manet::ScenarioConfig cfg;
-  cfg.num_nodes = 20;  // smoke-sized sanity cell
-  cfg.duration = manet::seconds(20);
-  suite.add("TableOne", cfg);
+  suite.add("TableOne", manet::ScenarioBuilder()
+                            .nodes(20)  // smoke-sized sanity cell
+                            .duration(manet::seconds(20))
+                            .build());
   return suite.run(argc, argv, "");
 }

@@ -5,10 +5,7 @@
 int main(int argc, char** argv) {
   manet::bench::Suite suite("tab_summary");
   for (const manet::Protocol p : manet::bench::kAll) {
-    manet::ScenarioConfig cfg;
-    cfg.protocol = p;
-    cfg.seed = 1;
-    suite.add(manet::to_string(p), cfg);
+    suite.add(manet::to_string(p), manet::ScenarioBuilder().protocol(p).seed(1).build());
   }
   return suite.run(
       argc, argv,

@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "net/node.hpp"
+#include "scenario/builder.hpp"
 #include "scenario/scenario.hpp"
 
 namespace {
@@ -50,7 +51,7 @@ class Flooding final : public RoutingProtocol {
 };
 
 ScenarioResult run_flooding(const ScenarioConfig& cfg) {
-  // Assemble manually: Scenario's factory only knows the built-in five, so
+  // Assemble manually: Scenario's factory only knows registered protocols, so
   // this is exactly what a downstream user with a new protocol would write.
   Scenario s(cfg);
   s.build();
@@ -70,13 +71,10 @@ void print_row(const char* name, const ScenarioResult& r) {
 }  // namespace
 
 int main() {
-  ScenarioConfig cfg;
-  cfg.num_nodes = 30;
-  cfg.area = {800.0, 800.0};
-  cfg.v_max = 10.0;
-  cfg.num_connections = 6;
-  cfg.duration = seconds(60);
-  cfg.seed = 99;
+  ScenarioBuilder builder;
+  builder.nodes(30).area(800.0, 800.0).speed(0.1, 10.0).connections(6).duration(seconds(60)).seed(
+      99);
+  const ScenarioConfig cfg = builder.build();
 
   std::printf("custom protocol demo: naive flooding vs AODV, %u nodes\n\n", cfg.num_nodes);
   std::printf("proto  |     PDR   |     delay    |   NRL   |   NML\n");
@@ -84,8 +82,7 @@ int main() {
 
   print_row("FLOOD", run_flooding(cfg));
 
-  cfg.protocol = Protocol::kAodv;
-  print_row("AODV", Scenario::run_once(cfg));
+  print_row("AODV", Scenario::run_once(builder.protocol(Protocol::kAodv).build()));
 
   std::printf(
       "\nFlooding needs no control packets (NRL 0) but every data packet is\n"

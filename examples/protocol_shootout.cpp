@@ -9,28 +9,30 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "scenario/builder.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace manet;
 
-  ScenarioConfig base;
-  base.num_nodes = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 50;
-  base.v_max = argc > 2 ? std::atof(argv[2]) : 10.0;
+  ScenarioBuilder base;
+  base.nodes(argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 50)
+      .speed(0.1, argc > 2 ? std::atof(argv[2]) : 10.0)
+      .duration(seconds(120))
+      .seed(1000);
   const int seeds = argc > 3 ? std::atoi(argv[3]) : 3;
-  base.duration = seconds(120);
-  base.seed = 1000;
 
+  // The registry is iterable: every registered protocol gets a sweep cell,
+  // so protocol #8 shows up here with zero changes to this file.
   std::vector<SweepCell> cells;
-  for (const Protocol p : kAllProtocols) {
-    ScenarioConfig cfg = base;
-    cfg.protocol = p;
-    cells.push_back({to_string(p), cfg});
+  for (const routing::ProtocolEntry& entry : protocol_registry()) {
+    cells.push_back({entry.name, base.protocol(entry.name).build()});
   }
+  const ScenarioConfig ref = cells.front().config;
 
   std::printf("protocol shootout: %u nodes, v_max %.0f m/s, %d seeds, %.0f s each\n\n",
-              base.num_nodes, base.v_max, seeds, base.duration.sec());
+              ref.num_nodes, ref.v_max, seeds, ref.duration.sec());
 
   const SweepRunner runner(seeds);
   SweepResult sweep = runner.run(cells);

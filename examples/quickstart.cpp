@@ -1,31 +1,21 @@
 // Quickstart: simulate 50 mobile nodes running AODV for 150 seconds and
-// print the four canonical metrics. Change `cfg.protocol` to compare.
+// print the four canonical metrics. Pass any registered protocol name to
+// compare (the registry does case-insensitive lookup and rejects typos
+// with the full list of registered names).
 //
-//   ./build/examples/quickstart [aodv|dsr|cbrp|dsdv|olsr] [seed]
+//   ./build/examples/quickstart [aodv|dsr|cbrp|dsdv|olsr|lar|tora] [seed]
 
 #include <cstdio>
-#include <cstring>
-#include <string>
+#include <cstdlib>
 
+#include "scenario/builder.hpp"
 #include "scenario/scenario.hpp"
 
-namespace {
-
-manet::Protocol parse_protocol(const char* s) {
-  using manet::Protocol;
-  if (std::strcmp(s, "dsr") == 0) return Protocol::kDsr;
-  if (std::strcmp(s, "cbrp") == 0) return Protocol::kCbrp;
-  if (std::strcmp(s, "dsdv") == 0) return Protocol::kDsdv;
-  if (std::strcmp(s, "olsr") == 0) return Protocol::kOlsr;
-  return Protocol::kAodv;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  manet::ScenarioConfig cfg;
-  cfg.protocol = argc > 1 ? parse_protocol(argv[1]) : manet::Protocol::kAodv;
-  cfg.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  manet::ScenarioBuilder builder;
+  if (argc > 1) builder.protocol(argv[1]);
+  builder.seed(argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42);
+  const manet::ScenarioConfig cfg = builder.build();
 
   std::printf("manetsim quickstart — %s, %u nodes, %g s\n\n",
               manet::to_string(cfg.protocol), cfg.num_nodes, cfg.duration.sec());

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <string>
 
+#include "scenario/builder.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/scenario.hpp"
 
@@ -37,22 +38,11 @@ using namespace manet;
       "  --loss P         per-frame loss probability          (default 0)\n"
       "  --no-rts         disable RTS/CTS\n"
       "  --trace FILE     write an ns-2-style event trace\n"
+      "  --shards K       kernel shards (0 = MANET_SHARDS)    (default 0)\n"
       "  --seed S         root seed                           (default 1)\n"
       "  --seeds K        replications (seed, seed+1, ...)    (default 1)\n"
       "  --quiet          print only the metric rows\n");
   std::exit(code);
-}
-
-Protocol parse_protocol(const std::string& s) {
-  if (s == "aodv") return Protocol::kAodv;
-  if (s == "dsr") return Protocol::kDsr;
-  if (s == "cbrp") return Protocol::kCbrp;
-  if (s == "dsdv") return Protocol::kDsdv;
-  if (s == "olsr") return Protocol::kOlsr;
-  if (s == "lar") return Protocol::kLar;
-  if (s == "tora") return Protocol::kTora;
-  std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
-  usage(2);
 }
 
 MobilityKind parse_mobility(const std::string& s) {
@@ -67,7 +57,7 @@ MobilityKind parse_mobility(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  ScenarioConfig cfg;
+  ScenarioBuilder builder;
   int seeds = 1;
   bool quiet = false;
 
@@ -82,27 +72,34 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") usage(0);
-    else if (arg == "--protocol") cfg.protocol = parse_protocol(need(i));
-    else if (arg == "--nodes") cfg.num_nodes = static_cast<std::uint32_t>(std::atoi(need(i)));
+    else if (arg == "--protocol") {
+      const std::string name = need(i);
+      if (protocol_registry().by_name(name) == nullptr) {
+        std::fprintf(stderr, "unknown protocol '%s'\n", name.c_str());
+        usage(2);
+      }
+      builder.protocol(name);
+    } else if (arg == "--nodes") builder.nodes(static_cast<std::uint32_t>(std::atoi(need(i))));
     else if (arg == "--area") {
       const std::string v = need(i);
       const auto x = v.find('x');
       if (x == std::string::npos) usage(2);
-      cfg.area = {std::atof(v.substr(0, x).c_str()), std::atof(v.substr(x + 1).c_str())};
-    } else if (arg == "--vmax") cfg.v_max = std::atof(need(i));
-    else if (arg == "--pause") cfg.pause = seconds_f(std::atof(need(i)));
-    else if (arg == "--static") cfg.static_nodes = true;
-    else if (arg == "--mobility") cfg.mobility = parse_mobility(need(i));
-    else if (arg == "--traffic") cfg.traffic =
-        std::strcmp(need(i), "onoff") == 0 ? TrafficKind::kOnOff : TrafficKind::kCbr;
-    else if (arg == "--connections") cfg.num_connections =
-        static_cast<std::uint32_t>(std::atoi(need(i)));
-    else if (arg == "--rate") cfg.cbr_interval = seconds_f(1.0 / std::atof(need(i)));
-    else if (arg == "--duration") cfg.duration = seconds_f(std::atof(need(i)));
-    else if (arg == "--loss") cfg.phy.frame_loss_rate = std::atof(need(i));
-    else if (arg == "--no-rts") cfg.mac.use_rts = false;
-    else if (arg == "--trace") cfg.trace_path = need(i);
-    else if (arg == "--seed") cfg.seed = std::strtoull(need(i), nullptr, 10);
+      builder.area(std::atof(v.substr(0, x).c_str()), std::atof(v.substr(x + 1).c_str()));
+    } else if (arg == "--vmax") builder.speed(0.1, std::atof(need(i)));
+    else if (arg == "--pause") builder.pause(seconds_f(std::atof(need(i))));
+    else if (arg == "--static") builder.static_nodes();
+    else if (arg == "--mobility") builder.mobility(parse_mobility(need(i)));
+    else if (arg == "--traffic") builder.traffic(
+        std::strcmp(need(i), "onoff") == 0 ? TrafficKind::kOnOff : TrafficKind::kCbr);
+    else if (arg == "--connections") builder.connections(
+        static_cast<std::uint32_t>(std::atoi(need(i))));
+    else if (arg == "--rate") builder.cbr_interval(seconds_f(1.0 / std::atof(need(i))));
+    else if (arg == "--duration") builder.duration(seconds_f(std::atof(need(i))));
+    else if (arg == "--loss") builder.frame_loss(std::atof(need(i)));
+    else if (arg == "--no-rts") builder.with([](ScenarioConfig& c) { c.mac.use_rts = false; });
+    else if (arg == "--trace") builder.trace(need(i));
+    else if (arg == "--shards") builder.shards(static_cast<std::uint32_t>(std::atoi(need(i))));
+    else if (arg == "--seed") builder.seed(std::strtoull(need(i), nullptr, 10));
     else if (arg == "--seeds") seeds = std::atoi(need(i));
     else if (arg == "--quiet") quiet = true;
     else {
@@ -111,6 +108,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  const ScenarioConfig cfg = builder.build();
   if (!quiet) {
     std::printf("manetsim simulate — %s, %d replication(s)\n\n%s\n", to_string(cfg.protocol),
                 seeds, cfg.parameter_table().c_str());

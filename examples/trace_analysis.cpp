@@ -10,41 +10,28 @@
 //   ./build/examples/trace_analysis [aodv|dsr|cbrp|dsdv|olsr|lar]
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 
+#include "scenario/builder.hpp"
 #include "scenario/scenario.hpp"
-
-namespace {
-
-manet::Protocol parse_protocol(const char* s) {
-  using manet::Protocol;
-  if (std::strcmp(s, "dsr") == 0) return Protocol::kDsr;
-  if (std::strcmp(s, "cbrp") == 0) return Protocol::kCbrp;
-  if (std::strcmp(s, "dsdv") == 0) return Protocol::kDsdv;
-  if (std::strcmp(s, "olsr") == 0) return Protocol::kOlsr;
-  if (std::strcmp(s, "lar") == 0) return Protocol::kLar;
-  return Protocol::kAodv;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace manet;
 
   const std::string trace_path = "/tmp/manetsim_trace_analysis.tr";
-  ScenarioConfig cfg;
-  cfg.protocol = argc > 1 ? parse_protocol(argv[1]) : Protocol::kAodv;
-  cfg.num_nodes = 30;
-  cfg.area = {800.0, 800.0};
-  cfg.v_max = 10.0;
-  cfg.num_connections = 6;
-  cfg.duration = seconds(60);
-  cfg.seed = 7;
-  cfg.trace_path = trace_path;
+  ScenarioBuilder builder;
+  if (argc > 1) builder.protocol(argv[1]);  // registry lookup, case-insensitive
+  const ScenarioConfig cfg = builder.nodes(30)
+                                 .area(800.0, 800.0)
+                                 .speed(0.1, 10.0)
+                                 .connections(6)
+                                 .duration(seconds(60))
+                                 .seed(7)
+                                 .trace(trace_path)
+                                 .build();
 
   std::printf("trace analysis — %s, trace at %s\n\n", to_string(cfg.protocol),
               trace_path.c_str());

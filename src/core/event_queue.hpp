@@ -35,6 +35,13 @@ class EventQueue {
   /// Schedule `cb` at absolute time `at`. Returns a handle for cancel().
   EventId schedule(SimTime at, Callback cb);
 
+  /// Schedule with a caller-supplied tie-break sequence number. The sharded
+  /// executive allocates sequence numbers from ONE global counter across all
+  /// shard queues, so the merged pop order (time, seq) is identical to what a
+  /// single queue would produce. Sequence numbers must be strictly
+  /// increasing across calls on the same queue.
+  EventId schedule_seq(SimTime at, std::uint64_t seq, Callback cb);
+
   /// Cancel a previously scheduled event. Cancelling an already-executed,
   /// already-cancelled, or invalid id is a harmless no-op.
   void cancel(EventId id);
@@ -51,12 +58,26 @@ class EventQueue {
   /// Number of live events.
   [[nodiscard]] std::size_t size() const { return live_; }
 
-  /// High-water mark of live events over the queue's lifetime (survives
-  /// clear()). Profiling hook: sweep artifacts report it per replication.
+  /// High-water mark of live events since construction or the last clear().
+  /// Profiling hook: sweep artifacts report it per replication. clear()
+  /// resets it — back-to-back replications reusing one queue must each
+  /// report their own high-water mark, not the max over all prior runs.
   [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
 
   /// Time of the earliest live event. Precondition: !empty().
   [[nodiscard]] SimTime next_time();
+
+  /// Ordering key of the earliest live event: (time, tie-break sequence).
+  /// The sharded executive compares head keys across shard queues to pick
+  /// the globally next event. Precondition: !empty().
+  struct HeadKey {
+    SimTime time;
+    std::uint64_t seq;
+
+    friend constexpr bool operator==(HeadKey, HeadKey) = default;
+    friend constexpr auto operator<=>(HeadKey, HeadKey) = default;
+  };
+  [[nodiscard]] HeadKey next_key();
 
   /// Remove and return the earliest live event. Precondition: !empty().
   struct Popped {

@@ -1,0 +1,139 @@
+#include "core/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/assert.hpp"
+#include "geom/grid_index.hpp"
+
+namespace manet {
+
+unsigned resolve_shard_count(std::uint32_t configured) {
+  long value = configured;
+  if (configured == 0) {
+    value = 1;
+    if (const char* env = std::getenv("MANET_SHARDS"); env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      if (end == env || *end != '\0' || parsed < 1) {
+        std::fprintf(stderr, "manetsim: ignoring MANET_SHARDS=%s (want an integer >= 1)\n", env);
+      } else {
+        value = parsed;
+      }
+    }
+  }
+  if (value > static_cast<long>(kMaxShards)) {
+    std::fprintf(stderr, "manetsim: clamping %ld shards to the maximum of %u\n", value,
+                 kMaxShards);
+    value = kMaxShards;
+  }
+  return static_cast<unsigned>(value);
+}
+
+ShardMap ShardMap::striped(const std::vector<Vec2>& positions, Area area, double cell_m,
+                           unsigned shards) {
+  MANET_EXPECTS(shards >= 1 && shards <= kMaxShards);
+  ShardMap map;
+  map.shards_ = shards;
+  map.members_.resize(shards);
+  map.shard_of_.reserve(positions.size());
+  // Reuse the channel's spatial lattice, refined so every shard owns at
+  // least one column: shard s gets columns [s * ncols / shards,
+  // (s+1) * ncols / shards) of the columns positions can actually occupy.
+  // Contiguous column bands keep radio neighbourhoods mostly shard-local,
+  // and the assignment is a pure function of the initial (seeded) placement.
+  const double cell = std::min(cell_m, area.width / shards);
+  const GridIndex grid(area, cell);
+  // ceil(width / cell) columns cover [0, width); the grid allocates one more
+  // so the clamped right edge (x == width exactly) has a home — fold that
+  // measure-zero sliver into the last real band instead of its own.
+  const auto ncols =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(area.width / cell)));
+  for (std::uint32_t id = 0; id < positions.size(); ++id) {
+    const std::size_t col = std::min(grid.column_of(positions[id]), ncols - 1);
+    const auto shard = static_cast<std::uint32_t>(col * shards / ncols);
+    MANET_ASSERT(shard < shards);
+    map.shard_of_.push_back(shard);
+    map.members_[shard].push_back(id);
+  }
+  return map;
+}
+
+std::uint32_t ShardMap::shard_of(std::uint32_t node) const {
+  if (shard_of_.empty()) return 0;  // identity map
+  MANET_EXPECTS(node < shard_of_.size());
+  return shard_of_[node];
+}
+
+const std::vector<std::uint32_t>& ShardMap::nodes_of(unsigned shard) const {
+  MANET_EXPECTS(shard < shards_);
+  static const std::vector<std::uint32_t> kEmpty;
+  if (members_.empty()) return kEmpty;
+  return members_[shard];
+}
+
+CrossShardQueue::Entry CrossShardQueue::pop() {
+  MANET_EXPECTS(!q_.empty());
+  Entry e = std::move(q_.front());
+  q_.pop_front();
+  return e;
+}
+
+ShardExecutor::ShardExecutor(unsigned shards) : shards_(shards) {
+  MANET_EXPECTS(shards >= 1 && shards <= kMaxShards);
+  threads_.reserve(shards_ > 0 ? shards_ - 1 : 0);
+  for (unsigned s = 1; s < shards_; ++s) {
+    threads_.emplace_back([this, s] { worker(s); });
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardExecutor::run(const std::function<void(unsigned)>& fn) {
+  if (shards_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    fn_ = &fn;
+    done_ = 0;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  fn(0);  // the coordinator is shard 0's worker
+  std::unique_lock<std::mutex> lock(m_);
+  cv_done_.wait(lock, [this] { return done_ == shards_ - 1; });
+  fn_ = nullptr;
+}
+
+void ShardExecutor::worker(unsigned shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_start_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      fn = fn_;
+    }
+    (*fn)(shard);
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      ++done_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+}  // namespace manet

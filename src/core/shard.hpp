@@ -1,0 +1,144 @@
+// Spatial sharding primitives for the conservative parallel kernel.
+//
+// Three pieces, all deterministic:
+//
+//   ShardMap        node id -> shard. Nodes are striped into contiguous
+//                   column bands of the channel's GridIndex by their initial
+//                   position, so a shard owns a vertical slice of the area
+//                   and most radio traffic stays shard-local.
+//
+//   CrossShardQueue per-(src-shard, dst-shard) FIFO handoff for events one
+//                   shard schedules onto another (channel deliveries across
+//                   the stripe boundary). Entries carry their (time, seq)
+//                   ordering key, so however late a queue is drained the
+//                   merged event order stays a pure function of (scenario,
+//                   seed). Ties at equal timestamps resolve by seq, which is
+//                   FIFO order — the queue never reorders.
+//
+//   ShardExecutor   a fork-join pool of one worker per shard for phases that
+//                   only touch shard-local state (per-node mobility
+//                   integration). run(fn) executes fn(shard) for every shard
+//                   concurrently and returns when all are done.
+//
+// The executive itself (core/simulator.hpp) dispatches event callbacks on
+// the coordinating thread in merged (time, seq) order — see DESIGN.md
+// "Parallel kernel" for what is and is not concurrent in this prototype.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/callback.hpp"
+#include "core/time.hpp"
+#include "geom/vec2.hpp"
+
+namespace manet {
+
+/// Hard cap on shards: EventIds reserve 3 bits for the owning shard.
+inline constexpr unsigned kMaxShards = 8;
+
+/// Resolve a configured shard count: 0 means "from the MANET_SHARDS
+/// environment variable, default 1". Malformed or out-of-range values warn
+/// on stderr and fall back to 1; anything above kMaxShards is clamped.
+[[nodiscard]] unsigned resolve_shard_count(std::uint32_t configured);
+
+/// Static spatial node -> shard assignment.
+class ShardMap {
+ public:
+  /// Everything in shard 0 (the single-shard identity map).
+  ShardMap() = default;
+
+  /// Stripe `positions` (indexed by node id) into `shards` contiguous
+  /// column bands of a GridIndex over `area` with cell edge `cell_m` (the
+  /// channel uses its carrier-sense range). Deterministic: a pure function
+  /// of the initial positions.
+  [[nodiscard]] static ShardMap striped(const std::vector<Vec2>& positions, Area area,
+                                        double cell_m, unsigned shards);
+
+  [[nodiscard]] unsigned shards() const { return shards_; }
+  [[nodiscard]] std::size_t size() const { return shard_of_.size(); }
+
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t node) const;
+
+  /// Node ids owned by `shard`, ascending.
+  [[nodiscard]] const std::vector<std::uint32_t>& nodes_of(unsigned shard) const;
+
+ private:
+  unsigned shards_ = 1;
+  std::vector<std::uint32_t> shard_of_;               // by node id
+  std::vector<std::vector<std::uint32_t>> members_;   // by shard, ascending ids
+};
+
+/// Deterministic FIFO handoff of events from one shard to another.
+class CrossShardQueue {
+ public:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  ///< global tie-break; FIFO order == seq order
+    EventCallback cb;
+  };
+
+  CrossShardQueue() = default;
+  // Move-only (entries hold move-only callbacks); the defaults must be
+  // spelled out or vector::resize tries the implicitly-declared copy.
+  CrossShardQueue(CrossShardQueue&&) noexcept = default;
+  CrossShardQueue& operator=(CrossShardQueue&&) noexcept = default;
+  CrossShardQueue(const CrossShardQueue&) = delete;
+  CrossShardQueue& operator=(const CrossShardQueue&) = delete;
+
+  void push(SimTime at, std::uint64_t seq, EventCallback cb) {
+    q_.push_back(Entry{at, seq, std::move(cb)});
+    ++total_pushed_;
+  }
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  /// Lifetime count of handoffs (cross-shard traffic accounting).
+  [[nodiscard]] std::uint64_t total_pushed() const { return total_pushed_; }
+
+  /// Remove and return the oldest entry. Precondition: !empty().
+  Entry pop();
+
+ private:
+  std::deque<Entry> q_;
+  std::uint64_t total_pushed_ = 0;
+};
+
+/// Fork-join pool: one worker per shard, persistent threads, condition-
+/// variable epoch barrier. `run(fn)` is a synchronous parallel region; the
+/// callable must only touch state owned by its shard (plus disjoint output
+/// slots). With one shard no threads are spawned and run() degenerates to a
+/// direct call.
+class ShardExecutor {
+ public:
+  explicit ShardExecutor(unsigned shards);
+  ~ShardExecutor();
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  [[nodiscard]] unsigned shards() const { return shards_; }
+
+  /// Execute fn(shard) for shard in [0, shards) concurrently; returns when
+  /// every invocation has finished. The calling thread runs shard 0.
+  void run(const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker(unsigned shard);
+
+  unsigned shards_;
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* fn_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  unsigned done_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace manet

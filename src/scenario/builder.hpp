@@ -1,0 +1,93 @@
+// Fluent scenario construction with build-time validation.
+//
+// ScenarioConfig is a plain struct, and poking its fields directly defers
+// every mistake (negative speed, a fault window past the end of the run, a
+// shard count above the kernel's cap) to whatever assertion happens to trip
+// first mid-build — or to silently nonsensical results. ScenarioBuilder is
+// the supported construction path: chain setters, then build() validates the
+// whole config at once and reports the offending values in the contract
+// message, or run() to validate and execute in one step.
+//
+//   const ScenarioResult r = ScenarioBuilder()
+//                                .protocol("DSR")
+//                                .nodes(50)
+//                                .area(1500, 300)
+//                                .pause(seconds(30))
+//                                .run();
+//
+// Every setter has a with() escape hatch for knobs too niche to earn one.
+// Direct aggregate construction of ScenarioConfig outside src/scenario/ is
+// flagged by manet_lint (scenario-config-aggregate).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "scenario/scenario.hpp"
+
+namespace manet {
+
+class ScenarioBuilder {
+ public:
+  /// Starts from the Table-I defaults of ScenarioConfig.
+  ScenarioBuilder() = default;
+
+  /// Start from an existing config (migration path for code that still
+  /// assembles ScenarioConfig by hand, and for sweeping variations of a
+  /// validated base).
+  [[nodiscard]] static ScenarioBuilder from(const ScenarioConfig& cfg);
+
+  // -- protocol ---------------------------------------------------------------
+  ScenarioBuilder& protocol(Protocol p);
+  /// By registry name, case-insensitive ("dsr" matches "DSR"). Unknown names
+  /// are reported at build() with the full list of registered protocols.
+  ScenarioBuilder& protocol(std::string_view name);
+
+  // -- topology & mobility ----------------------------------------------------
+  ScenarioBuilder& seed(std::uint64_t seed);
+  ScenarioBuilder& nodes(std::uint32_t count);
+  ScenarioBuilder& area(double width_m, double height_m);
+  ScenarioBuilder& static_nodes(bool on = true);
+  ScenarioBuilder& mobility(MobilityKind kind);
+  ScenarioBuilder& speed(double v_min_mps, double v_max_mps);
+  ScenarioBuilder& pause(SimTime pause);
+
+  // -- traffic ----------------------------------------------------------------
+  ScenarioBuilder& connections(std::uint32_t count);
+  ScenarioBuilder& payload(std::size_t bytes);
+  ScenarioBuilder& traffic(TrafficKind kind);
+  ScenarioBuilder& cbr_interval(SimTime interval);
+
+  // -- run shape --------------------------------------------------------------
+  ScenarioBuilder& duration(SimTime duration);
+  /// Spatial shards for the conservative-parallel kernel; 0 defers to the
+  /// MANET_SHARDS environment variable (see core/shard.hpp).
+  ScenarioBuilder& shards(std::uint32_t count);
+  ScenarioBuilder& fault(const FaultConfig& fault);
+  ScenarioBuilder& trace(std::string path);
+  ScenarioBuilder& measure_connectivity(bool on);
+
+  // -- stack ------------------------------------------------------------------
+  ScenarioBuilder& phy(const PhyConfig& phy);
+  ScenarioBuilder& mac(const MacConfig& mac);
+  ScenarioBuilder& frame_loss(double rate);
+
+  /// Escape hatch for knobs without a dedicated setter (per-protocol config
+  /// blocks, mobility-model extras). Runs immediately on the staged config.
+  ScenarioBuilder& with(const std::function<void(ScenarioConfig&)>& fn);
+
+  /// Validate the staged config as a whole and return it. Violations fail
+  /// the MANET_CONTRACT with the offending values in the message.
+  [[nodiscard]] ScenarioConfig build() const;
+
+  /// build() and run the scenario once.
+  [[nodiscard]] ScenarioResult run() const;
+
+ private:
+  ScenarioConfig cfg_;
+  std::string protocol_name_;  ///< deferred by-name lookup; resolved in build()
+};
+
+}  // namespace manet

@@ -30,17 +30,51 @@ const char* to_string(MobilityKind k) {
   return "?";
 }
 
+const routing::Registry& protocol_registry() {
+  // Function-local static: the registrations run on first use, which
+  // sidesteps the static-initialization-order and dropped-initializer
+  // hazards of self-registering globals inside static libraries.
+  static const routing::Registry kRegistry = [] {
+    routing::Registry r;
+    using routing::ProtocolEntry;
+    using Ptr = std::unique_ptr<RoutingProtocol>;
+    // One add() per implementation, in the canonical table order.
+    r.add(ProtocolEntry{"AODV", static_cast<std::uint8_t>(Protocol::kAodv),
+                        [](Node& n, const ScenarioConfig& c, RngStream rng) -> Ptr {
+                          return std::make_unique<aodv::Aodv>(n, c.aodv, rng);
+                        }});
+    r.add(ProtocolEntry{"DSR", static_cast<std::uint8_t>(Protocol::kDsr),
+                        [](Node& n, const ScenarioConfig& c, RngStream rng) -> Ptr {
+                          return std::make_unique<dsr::Dsr>(n, c.dsr, rng);
+                        }});
+    r.add(ProtocolEntry{"CBRP", static_cast<std::uint8_t>(Protocol::kCbrp),
+                        [](Node& n, const ScenarioConfig& c, RngStream rng) -> Ptr {
+                          return std::make_unique<cbrp::Cbrp>(n, c.cbrp, rng);
+                        }});
+    r.add(ProtocolEntry{"DSDV", static_cast<std::uint8_t>(Protocol::kDsdv),
+                        [](Node& n, const ScenarioConfig& c, RngStream rng) -> Ptr {
+                          return std::make_unique<dsdv::Dsdv>(n, c.dsdv, rng);
+                        }});
+    r.add(ProtocolEntry{"OLSR", static_cast<std::uint8_t>(Protocol::kOlsr),
+                        [](Node& n, const ScenarioConfig& c, RngStream rng) -> Ptr {
+                          return std::make_unique<olsr::Olsr>(n, c.olsr, rng);
+                        }});
+    r.add(ProtocolEntry{"LAR", static_cast<std::uint8_t>(Protocol::kLar),
+                        [](Node& n, const ScenarioConfig& c, RngStream rng) -> Ptr {
+                          return std::make_unique<lar::Lar>(n, c.lar, rng);
+                        }});
+    r.add(ProtocolEntry{"TORA", static_cast<std::uint8_t>(Protocol::kTora),
+                        [](Node& n, const ScenarioConfig& c, RngStream rng) -> Ptr {
+                          return std::make_unique<tora::Tora>(n, c.tora, rng);
+                        }});
+    return r;
+  }();
+  return kRegistry;
+}
+
 const char* to_string(Protocol p) {
-  switch (p) {
-    case Protocol::kAodv: return "AODV";
-    case Protocol::kDsr: return "DSR";
-    case Protocol::kCbrp: return "CBRP";
-    case Protocol::kDsdv: return "DSDV";
-    case Protocol::kOlsr: return "OLSR";
-    case Protocol::kLar: return "LAR";
-    case Protocol::kTora: return "TORA";
-  }
-  return "?";
+  const routing::ProtocolEntry* e = protocol_registry().by_id(static_cast<std::uint8_t>(p));
+  return e != nullptr ? e->name : "?";
 }
 
 std::string ScenarioConfig::parameter_table() const {
@@ -67,18 +101,11 @@ std::string ScenarioConfig::parameter_table() const {
 }
 
 std::unique_ptr<RoutingProtocol> make_protocol(const ScenarioConfig& cfg, Node& node) {
-  RngStream rng(cfg.seed, "routing", node.id());
-  switch (cfg.protocol) {
-    case Protocol::kAodv: return std::make_unique<aodv::Aodv>(node, cfg.aodv, rng);
-    case Protocol::kDsr: return std::make_unique<dsr::Dsr>(node, cfg.dsr, rng);
-    case Protocol::kCbrp: return std::make_unique<cbrp::Cbrp>(node, cfg.cbrp, rng);
-    case Protocol::kDsdv: return std::make_unique<dsdv::Dsdv>(node, cfg.dsdv, rng);
-    case Protocol::kOlsr: return std::make_unique<olsr::Olsr>(node, cfg.olsr, rng);
-    case Protocol::kLar: return std::make_unique<lar::Lar>(node, cfg.lar, rng);
-    case Protocol::kTora: return std::make_unique<tora::Tora>(node, cfg.tora, rng);
-  }
-  MANET_ASSERT(false);
-  return nullptr;
+  const routing::ProtocolEntry* e =
+      protocol_registry().by_id(static_cast<std::uint8_t>(cfg.protocol));
+  MANET_EXPECTS_MSG(e != nullptr, "no protocol registered for enum value %u",
+                    static_cast<unsigned>(cfg.protocol));
+  return e->make(node, cfg, RngStream(cfg.seed, "routing", node.id()));
 }
 
 Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
@@ -92,6 +119,13 @@ void Scenario::build() {
 
   channel_ = std::make_unique<Channel>(sim_, cfg_.phy, cfg_.area, milliseconds(250), cfg_.seed);
 
+  // Mobility models come first: the shard assignment is a pure function of
+  // the seeded initial placement, so every model must exist before the first
+  // node is wired up.
+  std::vector<MobilityPtr> mobility;
+  std::vector<Vec2> positions;
+  mobility.reserve(cfg_.num_nodes);
+  positions.reserve(cfg_.num_nodes);
   for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
     MobilityPtr mob;
     RngStream mrng(cfg_.seed, "mobility", i);
@@ -136,7 +170,28 @@ void Scenario::build() {
         }
       }
     }
-    nodes_.push_back(std::make_unique<Node>(sim_, stats_, *channel_, i, std::move(mob),
+    positions.push_back(mob->position_at(SimTime::zero()));
+    mobility.push_back(std::move(mob));
+  }
+
+  // Shard the kernel before anything is scheduled. With one shard (the
+  // default) the map is the identity and the executive keeps its classic
+  // single-queue fast path.
+  shards_ = resolve_shard_count(cfg_.shards);
+  if (shards_ > 1) {
+    shard_map_ = ShardMap::striped(positions, cfg_.area, cfg_.phy.cs_range_m, shards_);
+  }
+  sim_.configure_shards(shards_);
+  // Lookahead: a frame radiated in one shard takes >= min propagation to
+  // reach another, and the earliest radiated consequence lags one SIFS
+  // turnaround behind that (see DESIGN.md "Parallel kernel").
+  const SimTime lookahead = cfg_.phy.min_propagation() + cfg_.mac.sifs;
+  if (lookahead > SimTime::zero()) sim_.set_lookahead(lookahead);
+  if (shards_ > 1) channel_->set_shards(&shard_map_);
+
+  for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
+    const ShardScope scope(sim_, shard_map_.shard_of(i));
+    nodes_.push_back(std::make_unique<Node>(sim_, stats_, *channel_, i, std::move(mobility[i]),
                                             cfg_.mac, cfg_.seed));
   }
 
@@ -202,10 +257,22 @@ void Scenario::build() {
     }
   }
 
+  // Initial timers land on their owner's shard: protocols under their node,
+  // traffic sources under the flow's source node, the channel refresh and
+  // the samplers below under shard 0 (the coordinator).
   channel_->start();
-  for (auto& p : protocols_) p->start();
-  for (auto& s : sources_) s->start();
-  for (auto& s : onoff_sources_) s->start();
+  for (std::uint32_t i = 0; i < protocols_.size(); ++i) {
+    const ShardScope scope(sim_, shard_map_.shard_of(i));
+    protocols_[i]->start();
+  }
+  for (std::size_t c = 0; c < sources_.size(); ++c) {
+    const ShardScope scope(sim_, shard_map_.shard_of(flows_[c].first));
+    sources_[c]->start();
+  }
+  for (std::size_t c = 0; c < onoff_sources_.size(); ++c) {
+    const ShardScope scope(sim_, shard_map_.shard_of(flows_[c].first));
+    onoff_sources_[c]->start();
+  }
 
   if (cfg_.measure_connectivity && !flows_.empty()) {
     sim_.schedule_at(cfg_.cbr_start, [this] { sample_connectivity(); });
@@ -294,6 +361,12 @@ ScenarioResult Scenario::run() {
   r.mac_ctrl_tx = stats_.mac_ctrl_tx();
   r.events = sim_.events_executed();
   r.peak_queue_depth = sim_.peak_queue_size();
+  r.shards = sim_.shards();
+  r.cross_shard_events = sim_.cross_shard_events();
+  r.events_per_shard.reserve(sim_.shards());
+  for (unsigned s = 0; s < sim_.shards(); ++s) {
+    r.events_per_shard.push_back(sim_.events_executed_on(s));
+  }
   r.repair_latency_ms = stats_.mean_repair_latency_s() * 1e3;
   r.crashes = stats_.crashes();
   r.fault_corrupted = stats_.fault_corrupted();

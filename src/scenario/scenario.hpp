@@ -91,6 +91,12 @@ struct ScenarioConfig {
   // Duration.
   SimTime duration = seconds(150);
 
+  /// Spatial shards for the conservative-parallel kernel (see core/shard.hpp
+  /// and DESIGN.md "Parallel kernel"). 0 means "from the MANET_SHARDS
+  /// environment variable, default 1". Any value reproduces byte-identical
+  /// results; > 1 exercises the sharded executive.
+  std::uint32_t shards = 0;
+
   /// Fault injection (disabled by default). When enabled, the schedule is
   /// compiled from (fault, seed) before the run starts; see src/fault/.
   FaultConfig fault;
@@ -139,6 +145,13 @@ struct ScenarioResult {
   /// High-water mark of the event queue during the run (profiling).
   std::size_t peak_queue_depth = 0;
 
+  // Sharded-kernel accounting (shards == 1, zeros elsewhere, when unsharded).
+  std::uint32_t shards = 1;
+  /// Events that crossed a shard boundary through a handoff FIFO.
+  std::uint64_t cross_shard_events = 0;
+  /// Events executed per shard (load-balance accounting; sums to `events`).
+  std::vector<std::uint64_t> events_per_shard;
+
   // Fault-injection outcomes (all zero for fault-free runs).
   /// Mean time from an outage healing to the next delivered data packet, ms.
   double repair_latency_ms = 0.0;
@@ -170,6 +183,8 @@ class Scenario {
   [[nodiscard]] RoutingProtocol& routing(std::size_t i) { return *protocols_[i]; }
   /// The compiled fault schedule (empty when fault injection is disabled).
   [[nodiscard]] const FaultPlan& fault_plan() const { return fault_plan_; }
+  /// Node -> shard assignment (identity map when unsharded).
+  [[nodiscard]] const ShardMap& shard_map() const { return shard_map_; }
 
  private:
   void sample_connectivity();
@@ -177,6 +192,8 @@ class Scenario {
 
   ScenarioConfig cfg_;
   Simulator sim_;
+  ShardMap shard_map_;
+  unsigned shards_ = 1;
   StatsCollector stats_;
   std::unique_ptr<Channel> channel_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -195,5 +212,12 @@ class Scenario {
 /// Instantiate a routing protocol of the configured kind for `node`.
 [[nodiscard]] std::unique_ptr<RoutingProtocol> make_protocol(const ScenarioConfig& cfg,
                                                              Node& node);
+
+/// The populated protocol registry: one entry per implemented protocol, in
+/// the canonical table order (== kAllProtocols). to_string(Protocol),
+/// make_protocol() and the ScenarioBuilder's by-name lookup all read this
+/// table; benches iterate it for "every protocol" loops. Adding protocol #8
+/// is one enum value above plus one add() line in the definition.
+[[nodiscard]] const routing::Registry& protocol_registry();
 
 }  // namespace manet

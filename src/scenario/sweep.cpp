@@ -112,6 +112,7 @@ std::string SweepResult::to_json() const {
       os << (k == 0 ? "" : ", ") << "{\"seed\": " << r.seed << ", \"wall_s\": " << r.wall_s
          << ", \"sim_rate\": " << r.sim_rate << ", \"events_per_sec\": " << r.events_per_sec
          << ", \"events\": " << r.events << ", \"peak_queue_depth\": " << r.peak_queue_depth
+         << ", \"shards\": " << r.shards << ", \"cross_shard_events\": " << r.cross_shard_events
          << '}';
     }
     os << "]}}";
@@ -201,6 +202,8 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& cells) const {
       p.wall_s = wall;
       p.events = r.events;
       p.peak_queue_depth = r.peak_queue_depth;
+      p.shards = r.shards;
+      p.cross_shard_events = r.cross_shard_events;
       if (wall > 0.0) {
         p.sim_rate = cfg.duration.sec() / wall;
         p.events_per_sec = static_cast<double>(r.events) / wall;

@@ -42,6 +42,9 @@ struct RunProfile {
   double events_per_sec = 0.0;
   std::uint64_t events = 0;
   std::size_t peak_queue_depth = 0;
+  /// Sharded-kernel accounting (1 / 0 for unsharded runs).
+  std::uint32_t shards = 1;
+  std::uint64_t cross_shard_events = 0;
 };
 
 /// One cell of the finished sweep: aggregate metrics + profiling.

@@ -1,0 +1,37 @@
+// MLNT010 fixture: ScenarioConfig brace construction outside src/scenario/.
+// Three positives, and the shapes that must stay clean.
+
+struct Area {
+  double width;
+  double height;
+};
+
+struct ScenarioConfig {
+  int num_nodes = 50;
+  Area area{1000.0, 1000.0};
+};
+
+ScenarioConfig make_temporary() {
+  return ScenarioConfig{};  // positive: temporary aggregate
+}
+
+void positives() {
+  ScenarioConfig direct{};            // positive: braced declaration
+  ScenarioConfig assigned = {};       // positive: copy-list-init
+  (void)direct;
+  (void)assigned;
+}
+
+int negatives(const ScenarioConfig& by_ref) {  // clean: reference parameter
+  ScenarioConfig defaulted;                    // clean: default construction
+  ScenarioConfig copy = defaulted;             // clean: copy construction
+  auto lambda = [](ScenarioConfig& c) { c.num_nodes = 2; };  // clean: param
+  lambda(copy);
+  return by_ref.num_nodes + copy.num_nodes;
+}
+
+void suppressed() {
+  // manet-lint: allow-scenario-config - fixture proves the tag silences it
+  ScenarioConfig quiet{};
+  (void)quiet;
+}

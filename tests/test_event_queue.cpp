@@ -92,6 +92,64 @@ TEST(EventQueue, ClearDropsEverything) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, PeakSizeTracksHighWaterMark) {
+  EventQueue q;
+  for (int i = 0; i < 4; ++i) q.schedule(milliseconds(i), [] {});
+  q.pop();
+  q.pop();
+  q.schedule(milliseconds(9), [] {});
+  EXPECT_EQ(q.peak_size(), 4u);  // high-water mark, not current size
+  EXPECT_EQ(q.size(), 3u);
+}
+
+// Regression: clear() used to drop the events but leave peak_size() at the
+// old high-water mark, so a reused queue reported its previous life's peak.
+TEST(EventQueue, ClearResetsPeakSize) {
+  EventQueue q;
+  for (int i = 0; i < 8; ++i) q.schedule(milliseconds(i), [] {});
+  EXPECT_EQ(q.peak_size(), 8u);
+  q.clear();
+  EXPECT_EQ(q.peak_size(), 0u);
+  q.schedule(milliseconds(1), [] {});
+  q.schedule(milliseconds(2), [] {});
+  q.pop();
+  EXPECT_EQ(q.peak_size(), 2u);  // new life, new high-water mark
+}
+
+TEST(EventQueue, ScheduleSeqOrdersTiesByCallerSeq) {
+  // schedule_seq lets the sharded simulator stamp a global sequence number;
+  // ties at equal time must pop in caller-seq order even when insertion
+  // order disagrees.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_seq(milliseconds(5), 20, [&] { order.push_back(2); });
+  q.schedule_seq(milliseconds(5), 10, [&] { order.push_back(1); });
+  q.schedule_seq(milliseconds(5), 30, [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduleSeqKeepsInternalCounterCoherent) {
+  // Plain schedule() after schedule_seq() must not mint a seq below one
+  // already used, or the later event would jump the queue at equal time.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_seq(milliseconds(5), 100, [&] { order.push_back(1); });
+  q.schedule(milliseconds(5), [&] { order.push_back(2); });  // must sort after
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, NextKeyReportsHeadTimeAndSeq) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule_seq(milliseconds(7), 42, [] {});
+  q.schedule_seq(milliseconds(3), 99, [] {});
+  const auto head = q.next_key();
+  EXPECT_EQ(head.time, milliseconds(3));
+  EXPECT_EQ(head.seq, 99u);
+}
+
 TEST(EventQueue, IdsAreNeverReused) {
   EventQueue q;
   const EventId a = q.schedule(milliseconds(1), [] {});

@@ -1,0 +1,249 @@
+// Determinism proof for the conservative parallel kernel (sharded mode).
+//
+// The contract: the merged event order — and therefore every observable
+// metric — is a pure function of (scenario, seed), REGARDLESS of the shard
+// count. Layers of proof:
+//
+//   1. Kernel: cross-shard handoffs preserve FIFO/seq order, merged pop
+//      order across shard queues matches the single-queue order, and the
+//      cross-shard FIFO never reorders equal-timestamp entries.
+//   2. ShardMap: striping is a deterministic partition of the node set into
+//      contiguous column bands.
+//   3. Scenario: full metric fingerprints are byte-identical across
+//      MANET_SHARDS ∈ {1, 2, 4} for all seven protocols, for a faulted run,
+//      and for sweep aggregates; the sharded runs really do cross-shard
+//      traffic (the identity is not vacuous).
+
+#include "core/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "fault/fault.hpp"
+#include "scenario/builder.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+
+namespace manet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// 1. Kernel-level determinism
+// ---------------------------------------------------------------------------
+
+TEST(CrossShardQueue, FifoPreservesSeqOrderAtEqualTimestamps) {
+  CrossShardQueue q;
+  const SimTime t = milliseconds(5);
+  for (std::uint64_t seq : {10u, 11u, 12u, 13u}) {
+    q.push(t, seq, [] {});
+  }
+  ASSERT_EQ(q.size(), 4u);
+  std::uint64_t prev = 0;
+  while (!q.empty()) {
+    const auto e = q.pop();
+    EXPECT_EQ(e.at, t);
+    EXPECT_GT(e.seq, prev);  // pop order == push order == seq order
+    prev = e.seq;
+  }
+  EXPECT_EQ(q.total_pushed(), 4u);
+}
+
+TEST(Simulator, ShardedMergedOrderMatchesSingleQueueOrder) {
+  // Same schedule pattern on a 1-shard and a 4-shard executive: the
+  // callbacks must fire in the same global order.
+  auto run = [](unsigned shards) {
+    Simulator sim;
+    sim.configure_shards(shards);
+    std::vector<int> order;
+    for (int i = 0; i < 40; ++i) {
+      const auto shard = static_cast<std::uint32_t>(i % static_cast<int>(shards));
+      const ShardScope scope(sim, shard);
+      // Deliberate tie storm: only five distinct times across 40 events.
+      sim.schedule(milliseconds(i % 5), [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    return order;
+  };
+  const auto baseline = run(1);
+  EXPECT_EQ(run(2), baseline);
+  EXPECT_EQ(run(4), baseline);
+}
+
+TEST(Simulator, CrossShardHandoffPreservesOrderAndCounts) {
+  Simulator sim;
+  sim.configure_shards(2);
+  std::vector<int> order;
+  {
+    const ShardScope scope(sim, 0);
+    // From shard 0's context, schedule alternately onto both shards at one
+    // timestamp; execution must follow scheduling order exactly.
+    for (int i = 0; i < 10; ++i) {
+      sim.schedule_on(static_cast<std::uint32_t>(i % 2), milliseconds(3),
+                      [&order, i] { order.push_back(i); });
+    }
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(sim.cross_shard_events(), 5u);  // the odd targets crossed 0 -> 1
+  EXPECT_EQ(sim.events_executed(), 10u);
+  EXPECT_EQ(sim.events_executed_on(0) + sim.events_executed_on(1), 10u);
+}
+
+TEST(Simulator, CancelWorksAcrossShardTaggedIds) {
+  Simulator sim;
+  sim.configure_shards(4);
+  int fired = 0;
+  const ShardScope scope(sim, 3);
+  const EventId keep = sim.schedule(milliseconds(1), [&] { ++fired; });
+  const EventId drop = sim.schedule(milliseconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.pending(keep));
+  EXPECT_TRUE(sim.pending(drop));
+  sim.cancel(drop);
+  EXPECT_FALSE(sim.pending(drop));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.queue_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 2. ShardMap striping
+// ---------------------------------------------------------------------------
+
+TEST(ShardMap, StripedIsADeterministicPartition) {
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 32; ++i) {
+    pos.push_back({(static_cast<double>(i) + 0.5) * 1000.0 / 32.0, 500.0});
+  }
+  const Area area{1000.0, 1000.0};
+  const ShardMap map = ShardMap::striped(pos, area, 550.0, 2);
+  ASSERT_EQ(map.shards(), 2u);
+  ASSERT_EQ(map.size(), pos.size());
+
+  // Partition: every node in exactly one shard, members_ consistent with
+  // shard_of, both shards populated for a uniform spread.
+  std::size_t total = 0;
+  for (unsigned s = 0; s < map.shards(); ++s) {
+    const auto& members = map.nodes_of(s);
+    EXPECT_FALSE(members.empty());
+    total += members.size();
+    for (const std::uint32_t id : members) EXPECT_EQ(map.shard_of(id), s);
+  }
+  EXPECT_EQ(total, pos.size());
+
+  // Contiguous column bands: shard index is monotone in x for this layout.
+  for (std::size_t i = 1; i < pos.size(); ++i) {
+    EXPECT_GE(map.shard_of(static_cast<std::uint32_t>(i)),
+              map.shard_of(static_cast<std::uint32_t>(i - 1)));
+  }
+
+  // Pure function of the inputs.
+  const ShardMap again = ShardMap::striped(pos, area, 550.0, 2);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_EQ(again.shard_of(static_cast<std::uint32_t>(i)),
+              map.shard_of(static_cast<std::uint32_t>(i)));
+  }
+}
+
+TEST(ShardMap, DefaultMapsEverythingToShardZero) {
+  const ShardMap map;
+  EXPECT_EQ(map.shards(), 1u);
+  EXPECT_EQ(map.shard_of(0), 0u);
+  EXPECT_EQ(map.shard_of(12345), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Scenario-level identity across shard counts
+// ---------------------------------------------------------------------------
+
+ScenarioBuilder small_scenario(Protocol p, std::uint64_t seed) {
+  ScenarioBuilder b;
+  b.protocol(p).seed(seed).nodes(14).area(650.0, 650.0).speed(0.1, 6.0).connections(4).duration(
+      seconds(25));
+  return b;
+}
+
+/// Everything observable a run produces, as one exact-match string (the
+/// test_order_independence fingerprint, plus kernel accounting).
+std::string fingerprint(const ScenarioResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "events=%llu orig=%llu deliv=%llu rtx=%llu mac=%llu "
+                "pdr=%.12g delay=%.12g nrl=%.12g hops=%.12g",
+                static_cast<unsigned long long>(r.events),
+                static_cast<unsigned long long>(r.data_originated),
+                static_cast<unsigned long long>(r.data_delivered),
+                static_cast<unsigned long long>(r.routing_tx),
+                static_cast<unsigned long long>(r.mac_ctrl_tx), r.pdr, r.delay_ms, r.nrl,
+                r.avg_hops);
+  return buf;
+}
+
+TEST(ShardIdentity, AllProtocolsByteIdenticalAcrossShardCounts) {
+  for (const routing::ProtocolEntry& entry : protocol_registry()) {
+    ScenarioBuilder b = small_scenario(Protocol::kAodv, 1).protocol(entry.name);
+    const ScenarioResult one = Scenario::run_once(b.shards(1).build());
+    const ScenarioResult two = Scenario::run_once(b.shards(2).build());
+    const ScenarioResult four = Scenario::run_once(b.shards(4).build());
+
+    EXPECT_EQ(fingerprint(two), fingerprint(one)) << entry.name << " diverged at 2 shards";
+    EXPECT_EQ(fingerprint(four), fingerprint(one)) << entry.name << " diverged at 4 shards";
+
+    // The identity must not be vacuous: the sharded runs really did split
+    // the node set and hand events across the boundary.
+    EXPECT_EQ(one.shards, 1u);
+    EXPECT_EQ(two.shards, 2u);
+    EXPECT_EQ(four.shards, 4u);
+    EXPECT_EQ(one.cross_shard_events, 0u);
+    EXPECT_GT(two.cross_shard_events, 0u) << entry.name << ": no cross-shard traffic at 2";
+    EXPECT_GT(four.cross_shard_events, 0u) << entry.name << ": no cross-shard traffic at 4";
+
+    // Per-shard counts partition the total.
+    std::uint64_t sum = 0;
+    ASSERT_EQ(two.events_per_shard.size(), 2u);
+    for (const std::uint64_t n : two.events_per_shard) sum += n;
+    EXPECT_EQ(sum, two.events);
+  }
+}
+
+TEST(ShardIdentity, FaultedRunByteIdenticalAcrossShardCounts) {
+  FaultConfig fault;
+  fault.crash_rate = 1.0;
+  fault.downtime_mean = seconds(5);
+  fault.window_from = seconds(5);
+  ScenarioBuilder b = small_scenario(Protocol::kAodv, 3);
+  b.fault(fault);
+  const ScenarioResult one = Scenario::run_once(b.shards(1).build());
+  const ScenarioResult two = Scenario::run_once(b.shards(2).build());
+  EXPECT_EQ(fingerprint(two), fingerprint(one));
+  EXPECT_GT(two.cross_shard_events, 0u);
+}
+
+TEST(ShardIdentity, SweepAggregatesByteIdenticalAcrossShardCounts) {
+  auto aggregate_for = [](std::uint32_t shards) {
+    std::vector<SweepCell> cells;
+    cells.push_back({"AODV", small_scenario(Protocol::kAodv, 1).shards(shards).build()});
+    cells.push_back({"DSR", small_scenario(Protocol::kDsr, 1).shards(shards).build()});
+    const SweepRunner runner(/*seeds=*/2);
+    return runner.run(cells);
+  };
+  const SweepResult one = aggregate_for(1);
+  const SweepResult two = aggregate_for(2);
+  ASSERT_EQ(one.cells.size(), two.cells.size());
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    const Aggregate& a = one.cells[i].aggregate;
+    const Aggregate& b = two.cells[i].aggregate;
+    EXPECT_EQ(a.pdr.mean, b.pdr.mean) << one.cells[i].label;
+    EXPECT_EQ(a.delay_ms.mean, b.delay_ms.mean) << one.cells[i].label;
+    EXPECT_EQ(a.nrl.mean, b.nrl.mean) << one.cells[i].label;
+    EXPECT_EQ(a.nml.mean, b.nml.mean) << one.cells[i].label;
+    EXPECT_EQ(a.throughput_kbps.mean, b.throughput_kbps.mean) << one.cells[i].label;
+  }
+}
+
+}  // namespace
+}  // namespace manet

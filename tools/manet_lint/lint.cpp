@@ -33,6 +33,8 @@ const std::vector<RuleInfo> kRules = {
      "==/!= against floating-point literals is numerically fragile"},
     {"MLNT009", "bad-suppression", "",
      "manet-lint suppression with unknown tag or missing rationale"},
+    {"MLNT010", "scenario-config-aggregate", "allow-scenario-config",
+     "brace-constructing ScenarioConfig bypasses ScenarioBuilder validation"},
 };
 
 [[nodiscard]] const RuleInfo* rule_by_id(std::string_view id) {
@@ -248,6 +250,46 @@ struct LineView {
   return names;
 }
 
+/// Does the line brace-construct a ScenarioConfig? Flags `ScenarioConfig{...}`,
+/// `ScenarioConfig cfg{...}` and `ScenarioConfig cfg = {...}`. Plain
+/// default construction (`ScenarioConfig cfg;`), copies, and reference/
+/// pointer parameters are fine — only aggregate construction skips the
+/// builder's validation while silently accepting field-order mistakes.
+[[nodiscard]] bool has_scenario_aggregate(const std::string& code) {
+  static constexpr std::string_view kName = "ScenarioConfig";
+  std::size_t pos = 0;
+  while ((pos = code.find(kName, pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    const std::size_t end = pos + kName.size();
+    const bool lb = pos == 0 || !is_ident(code[pos - 1]);
+    pos = end;
+    if (!lb || (end < code.size() && is_ident(code[end]))) continue;
+    {  // a definition (`struct ScenarioConfig {`) is not a construction
+      std::size_t b = start;
+      while (b > 0 && code[b - 1] == ' ') --b;
+      std::size_t bs = b;
+      while (bs > 0 && is_ident(code[bs - 1])) --bs;
+      const std::string_view prev = std::string_view(code).substr(bs, b - bs);
+      if (prev == "struct" || prev == "class") continue;
+    }
+    std::size_t i = end;
+    while (i < code.size() && code[i] == ' ') ++i;
+    if (i < code.size() && code[i] == '{') return true;  // ScenarioConfig{...}
+    std::size_t ne = i;
+    while (ne < code.size() && is_ident(code[ne])) ++ne;
+    if (ne == i) continue;  // `&`, `*`, `>`, ... — a use, not a declaration
+    i = ne;
+    while (i < code.size() && code[i] == ' ') ++i;
+    if (i < code.size() && code[i] == '{') return true;  // ScenarioConfig cfg{...}
+    if (i < code.size() && code[i] == '=') {
+      ++i;
+      while (i < code.size() && code[i] == ' ') ++i;
+      if (i < code.size() && code[i] == '{') return true;  // ... cfg = {...}
+    }
+  }
+  return false;
+}
+
 /// The container expression iterated by a range-for on this line, if any:
 /// matches `for (... : expr)` and returns `expr` when it is a bare
 /// identifier (possibly `this->x`); compound expressions return "".
@@ -419,6 +461,9 @@ void check(const std::string& path, const std::vector<LineView>& lines,
     return names;
   }();
   const bool mlnt006_applies = order_sensitive(path, all_code + paired_code);
+  // src/scenario/ is the one place allowed to assemble configs by hand (it
+  // IS the builder/validator).
+  const bool mlnt010_applies = path.find("/scenario/") == std::string::npos;
 
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& code = lines[i].code;
@@ -491,6 +536,12 @@ void check(const std::string& path, const std::vector<LineView>& lines,
       add("MLNT008", n,
           "==/!= against a floating-point literal: compare integers (SimTime ns) or use an "
           "explicit tolerance; exact FP equality breaks under reordering/FMA");
+    }
+    if (mlnt010_applies && has_scenario_aggregate(code)) {
+      add("MLNT010", n,
+          "brace-constructing ScenarioConfig bypasses build-time validation and breaks on any "
+          "field reorder; chain ScenarioBuilder setters and build() instead (or annotate "
+          "`// manet-lint: allow-scenario-config - <why>`)");
     }
   }
 
