@@ -40,6 +40,10 @@ class Flooding final : public RoutingProtocol {
 
   void on_control(const Packet&, NodeId) override {}
 
+  // Cold restart: a resurrected node must not suppress "duplicates" it saw
+  // in its previous life, or post-recovery floods die at the first hop.
+  void on_node_restart() override { seen_.clear(); }
+
   [[nodiscard]] const char* name() const override { return "FLOOD"; }
 
  private:

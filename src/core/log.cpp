@@ -2,6 +2,7 @@
 
 namespace manet {
 
+// manet-lint: allow-global-state - process-wide log gate, written once at startup before any event runs; handlers only read it
 LogLevel Log::level_ = LogLevel::kNone;
 
 void Log::write(LogLevel lvl, SimTime now, const char* tag, const std::string& msg) {

@@ -26,6 +26,7 @@ class Log {
   static void write(LogLevel lvl, SimTime now, const char* tag, const std::string& msg);
 
  private:
+  // manet-lint: allow-global-state - set once at startup before any event runs; dispatch only reads it
   static LogLevel level_;
 };
 

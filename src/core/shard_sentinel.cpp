@@ -1,0 +1,76 @@
+#include "core/shard_sentinel.hpp"
+
+#if MANET_SHARD_SENTINEL
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/shard.hpp"
+
+namespace manet::sentinel {
+
+namespace {
+
+struct TlState {
+  const ShardMap* map = nullptr;  ///< owning-shard table; null = unbound
+  bool armed = false;
+  bool in_scope = false;          ///< inside a dispatched callback
+  std::uint32_t accessing = 0;    ///< shard the current callback runs as
+  SimTime now{};                  ///< sim-time of the current callback
+  int exempt_depth = 0;
+};
+
+// manet-lint: allow-global-state - the sentinel's own per-thread bookkeeping; never read by simulation logic
+thread_local TlState g_state;
+
+}  // namespace
+
+Binding::Binding(const ShardMap& map, bool armed)
+    : prev_map_(g_state.map), prev_armed_(g_state.armed) {
+  g_state.map = &map;
+  g_state.armed = armed;
+}
+
+Binding::~Binding() {
+  g_state.map = prev_map_;
+  g_state.armed = prev_armed_;
+}
+
+AccessScope::AccessScope(std::uint32_t shard, SimTime now)
+    : prev_shard_(g_state.accessing), prev_now_(g_state.now), prev_in_scope_(g_state.in_scope) {
+  g_state.accessing = shard;
+  g_state.now = now;
+  g_state.in_scope = true;
+}
+
+AccessScope::~AccessScope() {
+  g_state.accessing = prev_shard_;
+  g_state.now = prev_now_;
+  g_state.in_scope = prev_in_scope_;
+}
+
+ExemptScope::ExemptScope(const char* why) {
+  static_cast<void>(why);
+  ++g_state.exempt_depth;
+}
+
+ExemptScope::~ExemptScope() { --g_state.exempt_depth; }
+
+void check_access(std::uint32_t node, const char* what) {
+  const TlState& st = g_state;
+  if (!st.armed || !st.in_scope || st.exempt_depth > 0 || st.map == nullptr) return;
+  const std::uint32_t owner = st.map->shard_of(node);
+  if (owner == st.accessing) return;
+  // Deterministic by construction: the abort happens at the same (sim-time,
+  // node) for a given (scenario, seed, shard-count) on every run — this
+  // message IS the parallel-dispatch worklist entry.
+  std::fprintf(stderr,
+               "manetsim: shard sentinel: cross-shard access in %s: t=%lldns node=%u "
+               "owner-shard=%u accessing-shard=%u\n",
+               what, static_cast<long long>(st.now.ns()), node, owner, st.accessing);
+  std::abort();
+}
+
+}  // namespace manet::sentinel
+
+#endif  // MANET_SHARD_SENTINEL

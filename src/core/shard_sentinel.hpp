@@ -1,0 +1,112 @@
+// ShardSentinel — the dynamic half of the shard-safety checker.
+//
+// The static half (tools/manet_lint, rules MLNT011-014) proves structural
+// properties of the source; this sentinel proves the runtime property the
+// lint cannot: that during sharded dispatch no handler running on shard A
+// touches state owned by a node striped onto shard B. Every guarded entry
+// point (Node, WifiMac, Arp, Transceiver) calls MANET_SENTINEL_CHECK with
+// the owning node's id; the executive wraps each dispatched callback in a
+// MANET_SENTINEL_SCOPE carrying the shard it is running as. A mismatch
+// aborts deterministically with (sim-time, node, owning-shard,
+// accessing-shard) context — the exact worklist item a parallel-dispatch
+// refactor must fix.
+//
+// Cost model: the sentinel is compiled in for Debug builds (and any build
+// defining MANET_FORCE_SHARD_SENTINEL); in NDEBUG builds every macro
+// expands to `static_cast<void>(0)` — zero code, zero data, goldens
+// byte-identical.
+//
+// Threading: state is thread_local. SweepRunner executes whole scenarios on
+// concurrent worker threads, so a process-global sentinel would cross-talk
+// between replications; per-thread state also means ShardExecutor's mobility
+// workers (which never run event callbacks) stay unarmed automatically.
+//
+// Serialized cross-shard actions that are *by design* outside shard
+// confinement (today: fault injection crashing/restarting a node from the
+// coordinator) wrap themselves in MANET_SENTINEL_EXEMPT with a rationale
+// string, mirroring the lint's suppression-with-rationale discipline.
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.hpp"
+
+#if defined(MANET_FORCE_SHARD_SENTINEL) || !defined(NDEBUG)
+#define MANET_SHARD_SENTINEL 1
+#else
+#define MANET_SHARD_SENTINEL 0
+#endif
+
+namespace manet {
+
+class ShardMap;
+
+#if MANET_SHARD_SENTINEL
+
+namespace sentinel {
+
+/// Arm (or explicitly disarm) the sentinel for the current thread for the
+/// lifetime of the binding. `armed == false` still scopes correctly but
+/// checks nothing — used by single-shard runs so the hooks stay free.
+class Binding {
+ public:
+  Binding(const ShardMap& map, bool armed);
+  ~Binding();
+  Binding(const Binding&) = delete;
+  Binding& operator=(const Binding&) = delete;
+
+ private:
+  const ShardMap* prev_map_;
+  bool prev_armed_;
+};
+
+/// The executive pushes one of these around every dispatched callback: "the
+/// code below runs as `shard` at sim-time `now`".
+class AccessScope {
+ public:
+  AccessScope(std::uint32_t shard, SimTime now);
+  ~AccessScope();
+  AccessScope(const AccessScope&) = delete;
+  AccessScope& operator=(const AccessScope&) = delete;
+
+ private:
+  std::uint32_t prev_shard_;
+  SimTime prev_now_;
+  bool prev_in_scope_;
+};
+
+/// Marks a serialized, audited cross-shard action (fault injection). The
+/// rationale string is kept for symmetry with lint suppressions; it is not
+/// printed unless someone instruments this further.
+class ExemptScope {
+ public:
+  explicit ExemptScope(const char* why);
+  ~ExemptScope();
+  ExemptScope(const ExemptScope&) = delete;
+  ExemptScope& operator=(const ExemptScope&) = delete;
+};
+
+/// The assertion: abort unless `node` is owned by the shard the current
+/// AccessScope says we are running as. No-op when unarmed, out of scope, or
+/// inside an ExemptScope.
+void check_access(std::uint32_t node, const char* what);
+
+}  // namespace sentinel
+
+#define MANET_SENTINEL_BIND(map, armed) \
+  const ::manet::sentinel::Binding manet_sentinel_binding_((map), (armed))
+#define MANET_SENTINEL_SCOPE(shard, now) \
+  const ::manet::sentinel::AccessScope manet_sentinel_scope_((shard), (now))
+#define MANET_SENTINEL_EXEMPT(why) const ::manet::sentinel::ExemptScope manet_sentinel_exempt_(why)
+#define MANET_SENTINEL_CHECK(node, what) ::manet::sentinel::check_access((node), (what))
+
+#else  // release: every hook vanishes, arguments unevaluated
+
+#define MANET_SENTINEL_BIND(map, armed) static_cast<void>(0)
+#define MANET_SENTINEL_SCOPE(shard, now) static_cast<void>(0)
+#define MANET_SENTINEL_EXEMPT(why) static_cast<void>(0)
+#define MANET_SENTINEL_CHECK(node, what) static_cast<void>(0)
+
+#endif  // MANET_SHARD_SENTINEL
+
+}  // namespace manet

@@ -1,6 +1,7 @@
 #include "core/simulator.hpp"
 
 #include "core/assert.hpp"
+#include "core/shard_sentinel.hpp"
 
 namespace manet {
 
@@ -174,7 +175,12 @@ std::uint64_t Simulator::run_until_sharded(SimTime until) {
       now_ = ev.time;
       current_shard_ = static_cast<std::uint32_t>(s);
       --live_;
-      ev.cb();
+      {
+        // Debug builds: every state touch inside this callback must belong
+        // to shard s (see core/shard_sentinel.hpp).
+        MANET_SENTINEL_SCOPE(static_cast<std::uint32_t>(s), now_);
+        ev.cb();
+      }
       ++ran;
       ++events_executed_;
       ++events_per_shard_[static_cast<unsigned>(s)];

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/assert.hpp"
+#include "core/shard_sentinel.hpp"
 
 namespace manet {
 
@@ -22,6 +23,7 @@ WifiMac::WifiMac(Simulator& sim, const MacConfig& cfg, Transceiver& trx, StatsCo
 // ---------------------------------------------------------------------------
 
 void WifiMac::enqueue(Packet pkt) {
+  MANET_SENTINEL_CHECK(trx_.id(), "WifiMac::enqueue");
   pkt.mac.type = MacFrameType::kData;
   pkt.mac.src = trx_.id();
   pkt.mac.seq = tx_seq_++;

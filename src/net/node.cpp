@@ -1,6 +1,7 @@
 #include "net/node.hpp"
 
 #include "core/assert.hpp"
+#include "core/shard_sentinel.hpp"
 
 namespace manet {
 
@@ -23,6 +24,7 @@ Node::Node(Simulator& sim, StatsCollector& stats, Channel& channel, NodeId id,
 }
 
 void Node::originate(Packet pkt) {
+  MANET_SENTINEL_CHECK(id_, "Node::originate");
   pkt.kind = PacketKind::kData;
   pkt.ip.src = id_;
   pkt.ip.ttl = kInitialTtl;
@@ -45,6 +47,7 @@ void Node::originate(Packet pkt) {
 }
 
 void Node::crash() {
+  MANET_SENTINEL_CHECK(id_, "Node::crash");
   MANET_EXPECTS(!down_);
   down_ = true;
   trx_.set_down(true);
@@ -55,6 +58,7 @@ void Node::crash() {
 }
 
 void Node::restart() {
+  MANET_SENTINEL_CHECK(id_, "Node::restart");
   MANET_EXPECTS(down_);
   down_ = false;
   trx_.set_down(false);
@@ -63,6 +67,7 @@ void Node::restart() {
 }
 
 void Node::send_with_next_hop(Packet pkt, NodeId next_hop) {
+  MANET_SENTINEL_CHECK(id_, "Node::send_with_next_hop");
   if (down_) {
     // Routing timers may still fire while down; their output goes nowhere.
     drop(pkt, DropReason::kNodeDown);
@@ -72,6 +77,7 @@ void Node::send_with_next_hop(Packet pkt, NodeId next_hop) {
 }
 
 void Node::send_broadcast(Packet pkt) {
+  MANET_SENTINEL_CHECK(id_, "Node::send_broadcast");
   if (down_) {
     drop(pkt, DropReason::kNodeDown);
     return;
@@ -81,6 +87,7 @@ void Node::send_broadcast(Packet pkt) {
 }
 
 void Node::drop(const Packet& pkt, DropReason r) {
+  MANET_SENTINEL_CHECK(id_, "Node::drop");
   if (pkt.kind == PacketKind::kData) stats_.on_data_dropped(r);
   if (trace_ != nullptr) trace_->record('D', sim_.now(), id_, pkt, to_string(r));
 }
@@ -108,6 +115,7 @@ void Node::deliver_to_sink(const Packet& pkt) {
 }
 
 void Node::mac_deliver(const Packet& frame) {
+  MANET_SENTINEL_CHECK(id_, "Node::mac_deliver");
   // The channel excludes down receivers and the transceiver corrupts
   // receptions in flight at the crash instant, so nothing can reach here
   // while down — the recovery-invariant suite depends on this.

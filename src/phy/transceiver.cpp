@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/assert.hpp"
+#include "core/shard_sentinel.hpp"
 #include "phy/channel.hpp"
 
 namespace manet {
@@ -51,6 +52,7 @@ void Transceiver::set_down(bool down) {
 }
 
 void Transceiver::rx_start(const Packet* frame, SimTime airtime) {
+  MANET_SENTINEL_CHECK(id_, "Transceiver::rx_start");
   if (down_) return;
   const bool was_busy = medium_busy();
   ActiveRx rx;

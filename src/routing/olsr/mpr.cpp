@@ -23,8 +23,8 @@ std::vector<NodeId> select_mprs(
 
   std::unordered_set<NodeId> mpr;
   std::unordered_set<NodeId> uncovered;
-  // manet-lint: order-independent - inserts into sets; the final MPR and
-  // uncovered sets are identical for any visit order.
+  // manet-lint: order-independent - set insertion is commutative; the resulting MPR/uncovered sets are identical for any visit order
+  // and the greedy phase below iterates them via a sorted copy.
   for (const auto& [v, covers] : covered_by) {
     if (covers.size() == 1) {
       mpr.insert(covers.front());  // sole provider: mandatory

@@ -242,8 +242,8 @@ void Olsr::recompute_routes() {
       if (tuple.expires > now && nbr != node_.id()) adj[n].push_back(nbr);
     }
   }
-  // manet-lint: order-independent - only fills the adjacency multimap, whose
-  // per-node neighbour lists are sorted inside shortest_paths() before use.
+  // manet-lint: order-independent - fills the adjacency multimap only; shortest_paths() sorts each neighbour list before use
+  // so topology visit order never reaches a packet or the event queue.
   for (const auto& [origin, entry] : topology_) {
     if (entry.first.expires <= now) continue;
     for (const NodeId sel : entry.second) {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/assert.hpp"
+#include "core/shard_sentinel.hpp"
 #include "mobility/random_walk.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "mobility/static_mobility.hpp"
@@ -228,6 +229,7 @@ void Scenario::build() {
       cc.interval = cfg_.cbr_interval;
       cc.start = start;
       cc.stop = cfg_.duration;
+      // manet-lint: cross-shard-audited - build(): single-threaded wiring before the clock starts
       sources_.push_back(std::make_unique<CbrSource>(*nodes_[src], cc));
     } else {
       OnOffSource::Config oc;
@@ -239,8 +241,9 @@ void Scenario::build() {
       oc.idle_mean = cfg_.onoff_idle_mean;
       oc.start = start;
       oc.stop = cfg_.duration;
-      onoff_sources_.push_back(
-          std::make_unique<OnOffSource>(*nodes_[src], oc, RngStream(cfg_.seed, "onoff", c)));
+      onoff_sources_.push_back(std::make_unique<OnOffSource>(
+          // manet-lint: cross-shard-audited - build(): single-threaded wiring before the clock starts
+          *nodes_[src], oc, RngStream(cfg_.seed, "onoff", c)));
     }
   }
 
@@ -302,14 +305,20 @@ void Scenario::apply_fault(const FaultEvent& ev) {
   fault_runtime_.apply(ev);
   char note[64];
   switch (ev.kind) {
-    case FaultEventKind::kCrash:
+    case FaultEventKind::kCrash: {
+      MANET_SENTINEL_EXEMPT("fault injection is coordinator-serialized; crash may target any shard");
+      // manet-lint: cross-shard-audited - fault events run serialized on the coordinator; the sentinel exempts this scope
       nodes_[ev.a]->crash();  // records its own trace line
       stats_.on_fault_begin(ev.at);
       return;
-    case FaultEventKind::kRestart:
+    }
+    case FaultEventKind::kRestart: {
+      MANET_SENTINEL_EXEMPT("fault injection is coordinator-serialized; restart may target any shard");
+      // manet-lint: cross-shard-audited - fault events run serialized on the coordinator; the sentinel exempts this scope
       nodes_[ev.a]->restart();
       stats_.on_fault_end(ev.at);
       return;
+    }
     case FaultEventKind::kLinkDown:
     case FaultEventKind::kLinkUp:
       std::snprintf(note, sizeof(note), "%s %u-%u", to_string(ev.kind), ev.a, ev.b);
@@ -342,6 +351,10 @@ void Scenario::apply_fault(const FaultEvent& ev) {
 
 ScenarioResult Scenario::run() {
   build();
+  // Debug builds: arm the shard sentinel for sharded runs so any handler
+  // touching a foreign shard's node aborts with full context. Unarmed for
+  // shards_ == 1 (everything is shard 0 by definition).
+  MANET_SENTINEL_BIND(shard_map_, shards_ > 1);
   sim_.run_until(cfg_.duration);
   if (trace_) trace_->flush();
 

@@ -178,6 +178,7 @@ class Scenario {
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] StatsCollector& stats() { return stats_; }
   [[nodiscard]] Channel& channel() { return *channel_; }
+  // manet-lint: cross-shard-audited - test/driver accessor; any in-run cross-shard use trips the ShardSentinel
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_[i]; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] RoutingProtocol& routing(std::size_t i) { return *protocols_[i]; }

@@ -1,0 +1,28 @@
+// MLNT012 positive fixture. Scoped to the node-state layers plus
+// src/scenario/, so the test lints this text under a fake src/routing/ path.
+// Three direct peer-state accesses must fire; the decoys must not.
+#include <cstddef>
+#include <vector>
+
+namespace manet {
+
+struct Node {
+  void tick();
+};
+
+struct Mesh {
+  std::vector<Node*> nodes_;
+  std::vector<int> nodes;  // decoy: similarly-named container
+
+  void poke(std::size_t i) {
+    nodes_[i]->tick();  // direct indexing into the peer table
+  }
+  Node& node(std::size_t i) { return *nodes_[i]; }  // accessor exposing a peer
+  void relay(Mesh& other, std::size_t i) {
+    other.node(i).tick();  // member call fetching a foreign node
+    nodes.push_back(0);    // decoy: `nodes` is not `nodes_`
+  }
+  void renode();  // decoy: "node" embedded in an identifier
+};
+
+}  // namespace manet

@@ -1,0 +1,27 @@
+// MLNT012 suppressed fixture: same accesses as cross_node.cpp, each with a
+// tagged rationale. Must lint clean under a src/routing/ path.
+#include <cstddef>
+#include <vector>
+
+namespace manet {
+
+struct Node {
+  void tick();
+};
+
+struct Mesh {
+  std::vector<Node*> nodes_;
+
+  void poke(std::size_t i) {
+    // manet-lint: cross-shard-audited - fixture: runs only during single-threaded build()
+    nodes_[i]->tick();
+  }
+  // manet-lint: cross-shard-audited - fixture: test-only accessor, sentinel covers in-run use
+  Node& node(std::size_t i) { return *nodes_[i]; }
+  void relay(Mesh& other, std::size_t i) {
+    // manet-lint: cross-shard-audited - fixture: delivery path audited by the sentinel
+    other.node(i).tick();
+  }
+};
+
+}  // namespace manet

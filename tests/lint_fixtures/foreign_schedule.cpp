@@ -1,0 +1,36 @@
+// MLNT013 positive fixture, linted under a fake src/routing/ path. Both
+// forms must fire: the member-call schedule_on() (cross-shard injection) and
+// scheduling through a *foreign* node's sim() handle. Scheduling through the
+// component's own sim() accessor or its node_ owner is clean.
+namespace manet {
+
+struct EventId {};
+
+struct Simulator {
+  EventId schedule(long delay, int cb);
+  EventId schedule_at(long at, int cb);
+  EventId schedule_on(unsigned shard, long at, int cb);
+  void cancel(EventId ev);
+};
+
+struct Peer {
+  Simulator& sim();
+};
+
+struct Proto {
+  Simulator& sim();
+  Simulator& sim_;
+  Peer* neighbor_;
+  Peer& node_;
+  EventId timer_;
+
+  void arm(Peer& peer) {
+    sim().schedule(10, 1);                  // own accessor: clean
+    node_.sim().schedule_at(20, 2);         // owning node: clean
+    neighbor_->sim().schedule(30, 3);       // foreign handle: MLNT013
+    peer.sim().cancel(timer_);              // foreign handle: MLNT013
+    sim_.schedule_on(1, 40, 4);             // cross-shard injection: MLNT013
+  }
+};
+
+}  // namespace manet

@@ -1,0 +1,33 @@
+// MLNT013 suppressed fixture: the same three violations as
+// foreign_schedule.cpp, each carrying a tagged rationale. Must lint clean
+// under a src/routing/ path.
+namespace manet {
+
+struct EventId {};
+
+struct Simulator {
+  EventId schedule(long delay, int cb);
+  EventId schedule_on(unsigned shard, long at, int cb);
+  void cancel(EventId ev);
+};
+
+struct Peer {
+  Simulator& sim();
+};
+
+struct Proto {
+  Simulator& sim_;
+  Peer* neighbor_;
+  EventId timer_;
+
+  void arm(Peer& peer) {
+    // manet-lint: allow-foreign-schedule - fixture: handoff driven through the audited kernel API
+    neighbor_->sim().schedule(30, 3);
+    // manet-lint: allow-foreign-schedule - fixture: cancellation is order-unobservable here
+    peer.sim().cancel(timer_);
+    // manet-lint: allow-foreign-schedule - fixture: kernel test drives the cross-shard API directly
+    sim_.schedule_on(1, 40, 4);
+  }
+};
+
+}  // namespace manet

@@ -1,0 +1,34 @@
+// MLNT014 positive fixture (lintable from any path — the rule is not
+// path-scoped). NaiveFlood derives from RoutingProtocol without overriding
+// on_node_restart(); CleanProtocol overrides it and must not fire. The
+// unrelated base class is a decoy.
+namespace manet {
+
+class RoutingProtocol {
+ public:
+  virtual ~RoutingProtocol() = default;
+  virtual void on_node_restart() {}
+};
+
+class NaiveFlood final : public RoutingProtocol {
+ public:
+  void start();
+
+ private:
+  int seq_ = 0;
+};
+
+class CleanProtocol final : public RoutingProtocol {
+ public:
+  void on_node_restart() override { seq_ = 0; }
+
+ private:
+  int seq_ = 0;
+};
+
+class NotAProtocol {
+ public:
+  void start();
+};
+
+}  // namespace manet

@@ -1,0 +1,17 @@
+// MLNT014 suppressed fixture: the override is genuinely unnecessary here
+// and the class head says why. Must lint clean.
+namespace manet {
+
+class RoutingProtocol {
+ public:
+  virtual ~RoutingProtocol() = default;
+  virtual void on_node_restart() {}
+};
+
+// manet-lint: allow-no-restart - fixture: protocol is stateless, a cold restart has nothing to clear
+class StatelessRelay final : public RoutingProtocol {
+ public:
+  void start();
+};
+
+}  // namespace manet

@@ -1,0 +1,26 @@
+// MLNT011 positive fixture. The rule is scoped to src/, so the test feeds
+// this text to lint_text() under a fake src/ path. Four mutable statics must
+// fire; the const/constexpr/plain-member decoys must not.
+#include <cstdint>
+
+namespace manet {
+
+int g_counter = 0;           // namespace-scope mutable
+static double g_rate{1.0};   // brace-initialized namespace-scope static
+
+constexpr int kLimit = 8;         // constexpr: clean
+const char* const kName = "x";    // const: clean
+inline int scale(int v) { return v * kLimit; }  // function: clean
+
+class Widget {
+ public:
+  static int live_count_;  // static data member
+  int size_ = 0;           // plain member: clean
+};
+
+int bump() {
+  static std::uint64_t calls = 0;  // function-local static
+  return static_cast<int>(++calls);
+}
+
+}  // namespace manet

@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,16 @@ std::vector<std::string> rule_ids(const std::vector<Finding>& fs) {
 int count_rule(const std::vector<Finding>& fs, const std::string& id) {
   return static_cast<int>(std::count_if(
       fs.begin(), fs.end(), [&](const Finding& f) { return f.rule == id; }));
+}
+
+/// Lint a fixture file's text as if it lived at `fake_path` — the shard-
+/// safety rules are path-scoped (src/, src/routing/, ...) and the fixture
+/// directory is deliberately outside all of those.
+std::vector<Finding> lint_fixture_as(const std::string& name, const std::string& fake_path) {
+  std::ifstream in(kFixtures + "/" + name);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lint_text(fake_path, ss.str());
 }
 
 // ---------------------------------------------------------------------------
@@ -87,8 +99,10 @@ TEST(LintFixtures, ScenarioConfigAggregateFlagged) {
 
 TEST(LintText, ScenarioConfigAggregateScopedToOutsideScenarioDir) {
   const std::string code = "ScenarioConfig cfg{};\n";
-  // The scenario layer itself assembles configs by hand — exempt.
-  EXPECT_TRUE(lint_text("src/scenario/scenario.cpp", code, "").empty());
+  // The scenario layer itself assembles configs by hand — exempt from
+  // MLNT010 (the same line is still a mutable global, i.e. MLNT011 bait,
+  // which is why the assertion is rule-specific).
+  EXPECT_EQ(count_rule(lint_text("src/scenario/scenario.cpp", code, ""), "MLNT010"), 0);
   EXPECT_EQ(count_rule(lint_text("bench/tab_summary.cpp", code, ""), "MLNT010"), 1);
 }
 
@@ -157,8 +171,104 @@ TEST(LintEngine, IdentifiersContainingBannedNamesNotFlagged) {
   EXPECT_TRUE(lint_text("x.cpp", cpp).empty());
 }
 
-TEST(LintEngine, RuleTableHasTenRules) {
-  EXPECT_EQ(manet::lint::rules().size(), 10u);
+TEST(LintEngine, RuleTableCoversMlnt001Through014) {
+  EXPECT_EQ(manet::lint::rules().size(), 14u);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-safety rule family (MLNT011-014)
+// ---------------------------------------------------------------------------
+
+TEST(ShardSafetyRules, MutableStaticsFlaggedInSrc) {
+  const auto fs = lint_fixture_as("shard_globals.cpp", "src/fake/globals.cpp");
+  EXPECT_EQ(count_rule(fs, "MLNT011"), 4) << "namespace-scope, brace-init static, "
+                                             "static data member, function-local static";
+}
+
+TEST(ShardSafetyRules, MutableStaticsSuppressedByRationale) {
+  EXPECT_TRUE(lint_fixture_as("shard_globals_suppressed.cpp", "src/fake/globals.cpp").empty());
+}
+
+TEST(ShardSafetyRules, MutableStaticsIgnoredOutsideSrc) {
+  // Tools/tests may keep process-global state; only simulator code shards.
+  EXPECT_EQ(count_rule(lint_fixture_as("shard_globals.cpp", "tools/fake/globals.cpp"),
+                       "MLNT011"),
+            0);
+}
+
+TEST(ShardSafetyRules, CrossNodeAccessFlaggedInNodeLayers) {
+  const auto fs = lint_fixture_as("cross_node.cpp", "src/routing/fake/mesh.cpp");
+  EXPECT_EQ(count_rule(fs, "MLNT012"), 3) << "nodes_[...] x2 and a .node(...) member call";
+}
+
+TEST(ShardSafetyRules, CrossNodeAccessSuppressedByRationale) {
+  EXPECT_TRUE(lint_fixture_as("cross_node_suppressed.cpp", "src/routing/fake/mesh.cpp").empty());
+}
+
+TEST(ShardSafetyRules, CrossNodeAccessIgnoredInKernel) {
+  // src/core owns the delivery machinery; the rule scopes to the layers
+  // holding per-node state (+ src/scenario, the composition root).
+  EXPECT_EQ(count_rule(lint_fixture_as("cross_node.cpp", "src/core/fake.cpp"), "MLNT012"), 0);
+}
+
+TEST(ShardSafetyRules, ForeignScheduleFlagged) {
+  const auto fs = lint_fixture_as("foreign_schedule.cpp", "src/routing/fake/proto.cpp");
+  EXPECT_EQ(count_rule(fs, "MLNT013"), 3)
+      << "two foreign sim() handles and one schedule_on() injection";
+}
+
+TEST(ShardSafetyRules, ForeignScheduleSuppressedByRationale) {
+  EXPECT_TRUE(
+      lint_fixture_as("foreign_schedule_suppressed.cpp", "src/routing/fake/proto.cpp").empty());
+}
+
+TEST(ShardSafetyRules, ScheduleOnAllowedInKernelAndPhy) {
+  // The kernel and the PHY delivery path ARE the sanctioned cross-shard
+  // machinery; the member-call form must not fire there.
+  EXPECT_EQ(count_rule(lint_fixture_as("foreign_schedule.cpp", "src/core/fake.cpp"), "MLNT013"),
+            0);
+  EXPECT_EQ(count_rule(lint_fixture_as("foreign_schedule.cpp", "src/phy/fake.cpp"), "MLNT013"),
+            0);
+}
+
+TEST(ShardSafetyRules, MissingRestartOverrideFlagged) {
+  const auto fs = lint_file(kFixtures + "/missing_restart.cpp");
+  ASSERT_EQ(count_rule(fs, "MLNT014"), 1) << "NaiveFlood only; CleanProtocol overrides, "
+                                             "NotAProtocol does not derive";
+  for (const Finding& f : fs) {
+    if (f.rule == "MLNT014") {
+      EXPECT_NE(f.message.find("NaiveFlood"), std::string::npos);
+    }
+  }
+}
+
+TEST(ShardSafetyRules, MissingRestartSuppressedByRationale) {
+  EXPECT_TRUE(lint_file(kFixtures + "/missing_restart_suppressed.cpp").empty());
+}
+
+// ---------------------------------------------------------------------------
+// CLI contract + output formats
+// ---------------------------------------------------------------------------
+
+TEST(LintCli, NonexistentPathIsAHardError) {
+  // A typo'd path in CI must fail the job, not lint nothing and pass.
+  const char* argv[] = {"manet_lint", "no/such/dir"};
+  EXPECT_EQ(manet::lint::run_cli(2, argv), 2);
+}
+
+TEST(LintCli, UnknownOptionAndFormatRejected) {
+  const char* bad_opt[] = {"manet_lint", "--bogus", "."};
+  EXPECT_EQ(manet::lint::run_cli(3, bad_opt), 2);
+  const char* bad_fmt[] = {"manet_lint", "--format=xml", "."};
+  EXPECT_EQ(manet::lint::run_cli(3, bad_fmt), 2);
+}
+
+TEST(LintFormat, HumanAndGithubRenderings) {
+  const Finding f{"src/a.cpp", 12, "MLNT003", "host clock read"};
+  EXPECT_EQ(manet::lint::format_finding(f, manet::lint::Format::kHuman),
+            "src/a.cpp:12: MLNT003 [wall-clock-call] host clock read");
+  EXPECT_EQ(manet::lint::format_finding(f, manet::lint::Format::kGithub),
+            "::error file=src/a.cpp,line=12,title=MLNT003 wall-clock-call::host clock read");
 }
 
 }  // namespace

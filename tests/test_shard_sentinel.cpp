@@ -1,0 +1,137 @@
+// ShardSentinel (core/shard_sentinel.hpp) — the dynamic half of the
+// shard-safety checker.
+//
+// Three properties:
+//   1. A deliberate cross-shard state touch inside an armed access scope
+//      aborts, and the abort message carries the full (sim-time, node,
+//      owning-shard, accessing-shard) context — that line is the worklist
+//      entry a parallel-dispatch refactor works from.
+//   2. Same-shard touches, unarmed (single-shard) runs, and exempt scopes
+//      pass through silently.
+//   3. End-to-end: full sharded scenario runs — including a faulted one,
+//      whose crash/restart dispatch is the audited cross-shard exemption —
+//      complete with every handler under sentinel scrutiny.
+//
+// The whole suite is Debug-only: in NDEBUG builds the sentinel compiles out
+// and the suite reduces to the end-to-end runs (which then double-check the
+// macros really did vanish without breaking anything).
+
+#include "core/shard_sentinel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/shard.hpp"
+#include "fault/fault.hpp"
+#include "scenario/builder.hpp"
+#include "scenario/scenario.hpp"
+
+namespace manet {
+namespace {
+
+ScenarioBuilder sharded_scenario(std::uint64_t seed) {
+  ScenarioBuilder b;
+  b.protocol(Protocol::kAodv)
+      .seed(seed)
+      .nodes(14)
+      .area(650.0, 650.0)
+      .speed(0.1, 6.0)
+      .connections(4)
+      .duration(seconds(15))
+      .shards(2);
+  return b;
+}
+
+/// First node owned by `shard`, or size() when that shard is empty.
+[[maybe_unused]] std::size_t node_on_shard(const Scenario& sc, std::uint32_t shard) {
+  for (std::size_t i = 0; i < sc.size(); ++i) {
+    if (sc.shard_map().shard_of(static_cast<std::uint32_t>(i)) == shard) return i;
+  }
+  return sc.size();
+}
+
+#if MANET_SHARD_SENTINEL
+
+using sentinel::AccessScope;
+using sentinel::Binding;
+using sentinel::ExemptScope;
+
+TEST(ShardSentinelDeath, CrossShardTouchAbortsWithContext) {
+  Scenario sc(sharded_scenario(7).build());
+  sc.build();
+  const std::size_t victim = node_on_shard(sc, 1);
+  ASSERT_LT(victim, sc.size()) << "striping left shard 1 empty";
+
+  const Binding bind(sc.shard_map(), /*armed=*/true);
+  const AccessScope scope(/*shard=*/0, milliseconds(12));
+  // Node 'victim' is owned by shard 1; we are "running as" shard 0. The
+  // death message is the worklist format the parallel-dispatch PR consumes.
+  EXPECT_DEATH(sc.node(victim).originate(Packet{}),
+               "shard sentinel: cross-shard access in Node::originate: "
+               "t=12000000ns node=[0-9]+ owner-shard=1 accessing-shard=0");
+}
+
+TEST(ShardSentinel, SameShardAndExemptAndUnarmedTouchesPass) {
+  Scenario sc(sharded_scenario(7).build());
+  sc.build();
+  const std::size_t local = node_on_shard(sc, 0);
+  const std::size_t foreign = node_on_shard(sc, 1);
+  ASSERT_LT(local, sc.size());
+  ASSERT_LT(foreign, sc.size());
+
+  const Binding bind(sc.shard_map(), /*armed=*/true);
+  {
+    // Same-shard: fine.
+    const AccessScope scope(0, milliseconds(1));
+    sc.node(local).drop(Packet{}, DropReason::kNoRoute);
+  }
+  {
+    // Cross-shard but exempt (the fault-injection pattern): fine.
+    const AccessScope scope(0, milliseconds(2));
+    const ExemptScope exempt("test: serialized coordinator action");
+    sc.node(foreign).drop(Packet{}, DropReason::kNoRoute);
+  }
+  {
+    // Outside any access scope (pre-run wiring): fine.
+    sc.node(foreign).drop(Packet{}, DropReason::kNoRoute);
+  }
+}
+
+TEST(ShardSentinel, UnarmedBindingChecksNothing) {
+  Scenario sc(sharded_scenario(7).build());
+  sc.build();
+  const std::size_t foreign = node_on_shard(sc, 1);
+  ASSERT_LT(foreign, sc.size());
+  // Single-shard runs bind unarmed; cross-shard touches must not trip.
+  const Binding bind(sc.shard_map(), /*armed=*/false);
+  const AccessScope scope(0, milliseconds(3));
+  sc.node(foreign).drop(Packet{}, DropReason::kNoRoute);
+}
+
+#endif  // MANET_SHARD_SENTINEL
+
+// ---------------------------------------------------------------------------
+// End-to-end: every handler of a real sharded run under the sentinel
+// ---------------------------------------------------------------------------
+
+TEST(ShardSentinelEndToEnd, ShardedRunCompletesUnderSentinel) {
+  const ScenarioResult r = Scenario::run_once(sharded_scenario(11).build());
+  EXPECT_GT(r.events, 0u);
+  EXPECT_EQ(r.shards, 2u);
+}
+
+TEST(ShardSentinelEndToEnd, FaultedShardedRunUsesTheAuditedExemption) {
+  // Crash/restart target nodes on any shard from the coordinator-serialized
+  // fault handler; the exemption in Scenario::apply_fault must cover it.
+  ScenarioBuilder b = sharded_scenario(13);
+  FaultConfig fault;
+  fault.crash_rate = 1.5;
+  fault.downtime_mean = seconds(1);
+  b.fault(fault);
+  const ScenarioResult r = Scenario::run_once(b.build());
+  EXPECT_GT(r.events, 0u);
+}
+
+}  // namespace
+}  // namespace manet

@@ -82,6 +82,7 @@ TEST(Simulator, CrossShardHandoffPreservesOrderAndCounts) {
     // From shard 0's context, schedule alternately onto both shards at one
     // timestamp; execution must follow scheduling order exactly.
     for (int i = 0; i < 10; ++i) {
+      // manet-lint: allow-foreign-schedule - kernel test drives the cross-shard handoff API directly
       sim.schedule_on(static_cast<std::uint32_t>(i % 2), milliseconds(3),
                       [&order, i] { order.push_back(i); });
     }

@@ -35,6 +35,14 @@ const std::vector<RuleInfo> kRules = {
      "manet-lint suppression with unknown tag or missing rationale"},
     {"MLNT010", "scenario-config-aggregate", "allow-scenario-config",
      "brace-constructing ScenarioConfig bypasses ScenarioBuilder validation"},
+    {"MLNT011", "shard-unsafe-global", "allow-global-state",
+     "mutable namespace-scope/static state in src/ defeats shard confinement"},
+    {"MLNT012", "cross-node-access", "cross-shard-audited",
+     "direct access to another node's state bypasses the shard-safe delivery path"},
+    {"MLNT013", "foreign-shard-schedule", "allow-foreign-schedule",
+     "scheduling into a foreign node/shard context outside the CrossShardQueue path"},
+    {"MLNT014", "missing-restart-override", "allow-no-restart",
+     "RoutingProtocol subclass lacks an on_node_restart() cold-restart override"},
 };
 
 [[nodiscard]] const RuleInfo* rule_by_id(std::string_view id) {
@@ -311,6 +319,315 @@ struct LineView {
 }
 
 // ---------------------------------------------------------------------------
+// Scope-aware analysis (MLNT011/MLNT014)
+//
+// A lightweight C++ tokenizer plus a brace-matching scope walker — enough
+// structure to tell a namespace-scope variable from a local, a class data
+// member from a function, and to see a whole class body, without dragging in
+// libclang. Heuristic classification of `{`: a head containing `namespace`
+// opens a namespace, `enum` an enumeration, `class`/`struct`/`union`
+// (without a parameter list) a class, anything with `(` a function, and the
+// rest an initializer/plain block. Fixtures in tests/lint_fixtures pin the
+// corner cases.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool ident = false;
+};
+
+/// Tokenize blanked per-line code into identifiers and punctuation (`::` is
+/// one token). Preprocessor lines are skipped entirely.
+[[nodiscard]] std::vector<Token> tokenize(const std::vector<LineView>& lines) {
+  std::vector<Token> out;
+  bool continued = false;  // previous line was a preprocessor line ending in '\'
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    const int lineno = static_cast<int>(li) + 1;
+    std::size_t i = 0;
+    while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i]))) ++i;
+    if (continued || (i < code.size() && code[i] == '#')) {
+      // Skip the directive and every backslash-continued line after it —
+      // braces inside a macro body would unbalance the scope walker.
+      std::size_t e = code.size();
+      while (e > 0 && std::isspace(static_cast<unsigned char>(code[e - 1]))) --e;
+      continued = e > 0 && code[e - 1] == '\\';
+      continue;
+    }
+    for (; i < code.size(); ++i) {
+      const char c = code[i];
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      if (is_ident(c)) {
+        std::size_t e = i;
+        while (e < code.size() && is_ident(code[e])) ++e;
+        out.push_back({code.substr(i, e - i), lineno, true});
+        i = e - 1;
+        continue;
+      }
+      if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+        out.push_back({"::", lineno, false});
+        ++i;
+        continue;
+      }
+      out.push_back({std::string(1, c), lineno, false});
+    }
+  }
+  return out;
+}
+
+struct MutableStatic {
+  int line = 0;
+  std::string name;
+  const char* kind = "";  ///< "namespace-scope", "static data member", "function-local static"
+};
+
+struct ProtocolClass {
+  int line = 0;
+  std::string name;
+  bool has_restart = false;
+};
+
+struct ScopeAnalysis {
+  std::vector<MutableStatic> mutable_statics;
+  std::vector<ProtocolClass> protocol_classes;
+};
+
+[[nodiscard]] bool stmt_contains(const std::vector<Token>& s, std::string_view word) {
+  return std::any_of(s.begin(), s.end(),
+                     [&](const Token& t) { return t.ident && t.text == word; });
+}
+
+/// Does the statement head read as a function declarator rather than a
+/// variable? A `(` before any `=` means a parameter list came first.
+[[nodiscard]] bool function_like(const std::vector<Token>& s) {
+  for (const Token& t : s) {
+    if (t.text == "=") return false;
+    if (t.text == "(") return true;
+  }
+  return false;
+}
+
+/// Walk the token stream tracking scopes; collect mutable static/global
+/// variable declarations and RoutingProtocol subclasses.
+[[nodiscard]] ScopeAnalysis analyze_scopes(const std::vector<Token>& toks) {
+  ScopeAnalysis out;
+
+  struct Scope {
+    char kind;            ///< 'n'amespace, 'c'lass, 'f'unction, 'b'lock/init, 'e'num
+    int proto_class = -1; ///< index into out.protocol_classes when a tracked class
+  };
+  std::vector<Scope> scopes;  // empty vector == translation-unit (namespace) scope
+  std::vector<Token> stmt;    // tokens since the last ; { }
+
+  const auto scope_kind = [&]() -> char { return scopes.empty() ? 'n' : scopes.back().kind; };
+
+  // Flag `stmt` as a mutable variable declaration unless it is const, a
+  // type/alias/using declaration, or a function declarator.
+  const auto flag_variable = [&](const char* kind) {
+    if (stmt.empty()) return;
+    static constexpr std::string_view kSkip[] = {
+        "const",    "constexpr", "using",   "typedef",       "extern",  "friend",
+        "template", "operator",  "class",   "struct",        "union",   "enum",
+        "namespace","return",    "public",  "protected",     "private", "static_assert",
+        "goto",     "case",      "default", "if",            "for",     "while",
+        "switch",   "do",        "else",    "try",           "catch",   "co_return",
+    };
+    for (const std::string_view w : kSkip) {
+      if (stmt_contains(stmt, w)) return;
+    }
+    if (function_like(stmt)) return;
+    std::string name;
+    for (const Token& t : stmt) {
+      if (t.text == "=") break;
+      if (t.ident) name = t.text;
+    }
+    if (name.empty()) return;
+    out.mutable_statics.push_back({stmt.front().line, name, kind});
+  };
+
+  // Dispatch the statement head per scope before it is cleared (used on both
+  // `;` and brace-initializer `{`).
+  const auto process_stmt = [&] {
+    switch (scope_kind()) {
+      case 'n': flag_variable("namespace-scope"); break;
+      case 'c':
+        if (stmt_contains(stmt, "static") || stmt_contains(stmt, "thread_local")) {
+          flag_variable("static data member");
+        }
+        break;
+      case 'f':
+      case 'b':
+        if (stmt_contains(stmt, "static") || stmt_contains(stmt, "thread_local")) {
+          flag_variable("function-local static");
+        }
+        break;
+      default: break;  // 'e': enumerators
+    }
+  };
+
+  for (const Token& tok : toks) {
+    if (tok.text == "{") {
+      Scope next{'b', -1};
+      const char enclosing = scope_kind();
+      if (stmt_contains(stmt, "namespace") || stmt_contains(stmt, "extern")) {
+        next.kind = 'n';
+      } else if (stmt_contains(stmt, "enum")) {
+        next.kind = 'e';
+      } else if ((stmt_contains(stmt, "class") || stmt_contains(stmt, "struct") ||
+                  stmt_contains(stmt, "union")) &&
+                 !std::any_of(stmt.begin(), stmt.end(),
+                              [](const Token& t) { return t.text == "("; })) {
+        next.kind = 'c';
+        // `class X final : public [manet::]RoutingProtocol` — record the
+        // subclass so a missing on_node_restart override can be reported.
+        std::string name;
+        bool base_list = false;
+        bool derives = false;
+        for (const Token& t : stmt) {
+          if (t.ident && name.empty() &&
+              !(t.text == "class" || t.text == "struct" || t.text == "union" ||
+                t.text == "template" || t.text == "typename" || t.text == "final")) {
+            name = t.text;
+          }
+          if (t.text == ":") base_list = true;
+          if (base_list && t.ident && t.text == "RoutingProtocol") derives = true;
+        }
+        if (derives && name != "RoutingProtocol") {
+          next.proto_class = static_cast<int>(out.protocol_classes.size());
+          out.protocol_classes.push_back({stmt.front().line, name, false});
+        }
+      } else if ((enclosing == 'n' || enclosing == 'c') &&
+                 std::any_of(stmt.begin(), stmt.end(),
+                             [](const Token& t) { return t.text == "("; })) {
+        next.kind = 'f';
+      } else {
+        // Brace initializer (`Foo g{...};`) or a block: the head may still
+        // declare a variable at the enclosing scope — flag it now, because
+        // the `;` after the closing brace will see an empty head.
+        process_stmt();
+      }
+      scopes.push_back(next);
+      stmt.clear();
+      continue;
+    }
+    if (tok.text == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      stmt.clear();
+      continue;
+    }
+    if (tok.text == ";") {
+      process_stmt();
+      stmt.clear();
+      continue;
+    }
+    // `public:` / `private:` / `protected:` labels would otherwise merge
+    // into the following member declaration and hide it behind the skip
+    // list.
+    if (tok.text == ":" && stmt.size() == 1 && stmt.front().ident &&
+        (stmt.front().text == "public" || stmt.front().text == "protected" ||
+         stmt.front().text == "private")) {
+      stmt.clear();
+      continue;
+    }
+    if (tok.ident && tok.text == "on_node_restart") {
+      for (const Scope& s : scopes) {
+        if (s.proto_class >= 0) {
+          out.protocol_classes[static_cast<std::size_t>(s.proto_class)].has_restart = true;
+        }
+      }
+    }
+    stmt.push_back(tok);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shard-safety line matchers (MLNT012/MLNT013)
+// ---------------------------------------------------------------------------
+
+/// Member call `<expr>.name(` / `<expr>->name(` with identifier boundaries.
+[[nodiscard]] bool has_member_call(const std::string& code, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const std::size_t end = pos + name.size();
+    const bool member = pos > 0 && (code[pos - 1] == '.' ||
+                                    (pos >= 2 && code[pos - 1] == '>' && code[pos - 2] == '-'));
+    if (member && (end >= code.size() || !is_ident(code[end]))) {
+      std::size_t j = end;
+      while (j < code.size() && code[j] == ' ') ++j;
+      if (j < code.size() && code[j] == '(') return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+/// Direct peer-state access: `nodes_[...]` indexing or a `.node(`/`->node(`
+/// member call (Scenario::node(id) and friends).
+[[nodiscard]] bool has_cross_node_access(const std::string& code) {
+  if (code.find("nodes_[") != std::string::npos) return true;
+  return has_member_call(code, "node");
+}
+
+/// `X.sim().<method>` / `X->sim().<method>` where X is not the owning node:
+/// scheduling (or cancelling) through a *foreign* node's simulator handle.
+/// Returns the foreign expression's identifier, or "" when clean. Bare
+/// `sim().schedule(...)` (the component's own accessor) and `sim_.` members
+/// are the sanctioned forms.
+[[nodiscard]] std::string foreign_sim_schedule(const std::string& code) {
+  std::size_t pos = 0;
+  while ((pos = code.find("sim", pos)) != std::string::npos) {
+    const std::size_t end = pos + 3;
+    const bool lb = pos == 0 || !is_ident(code[pos - 1]);
+    if (!lb || (end < code.size() && is_ident(code[end]))) {
+      pos = end;
+      continue;
+    }
+    // Match `sim ( ) . <method>`.
+    std::size_t j = end;
+    const auto skip_spaces = [&] { while (j < code.size() && code[j] == ' ') ++j; };
+    skip_spaces();
+    if (j >= code.size() || code[j] != '(') { pos = end; continue; }
+    ++j;
+    skip_spaces();
+    if (j >= code.size() || code[j] != ')') { pos = end; continue; }
+    ++j;
+    skip_spaces();
+    if (j >= code.size() || code[j] != '.') { pos = end; continue; }
+    ++j;
+    skip_spaces();
+    std::size_t me = j;
+    while (me < code.size() && is_ident(code[me])) ++me;
+    const std::string_view method = std::string_view(code).substr(j, me - j);
+    if (method != "schedule" && method != "schedule_at" && method != "schedule_on" &&
+        method != "cancel") {
+      pos = end;
+      continue;
+    }
+    // Owner of the sim() call: the expression before `.sim()` / `->sim()`.
+    std::size_t b = pos;
+    while (b > 0 && code[b - 1] == ' ') --b;
+    bool member = false;
+    if (b > 0 && code[b - 1] == '.') {
+      member = true;
+      --b;
+    } else if (b >= 2 && code[b - 1] == '>' && code[b - 2] == '-') {
+      member = true;
+      b -= 2;
+    }
+    if (!member) { pos = end; continue; }  // own accessor: sim().schedule(...)
+    while (b > 0 && code[b - 1] == ' ') --b;
+    std::size_t bs = b;
+    while (bs > 0 && is_ident(code[bs - 1])) --bs;
+    const std::string owner = code.substr(bs, b - bs);
+    if (owner != "node_" && owner != "node" && owner != "this") return owner.empty() ? "<expr>" : owner;
+    pos = end;
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 
@@ -430,6 +747,14 @@ struct Suppressions {
   return path.ends_with(".hpp") || path.ends_with(".h") || path.ends_with(".hh");
 }
 
+/// Is `path` under directory `dir` ("src/", "src/routing/", ...)? Matches
+/// both relative ("src/core/x.cpp") and absolute ("/repo/src/core/x.cpp")
+/// spellings.
+[[nodiscard]] bool in_path(const std::string& path, std::string_view dir) {
+  if (path.rfind(dir, 0) == 0) return true;
+  return path.find("/" + std::string(dir)) != std::string::npos;
+}
+
 /// Does this scan unit schedule events, transmit, or implement routing state?
 /// MLNT006 applies only there — hash order in a pure utility is harmless.
 [[nodiscard]] bool order_sensitive(const std::string& path, const std::string& all_code) {
@@ -464,6 +789,16 @@ void check(const std::string& path, const std::vector<LineView>& lines,
   // src/scenario/ is the one place allowed to assemble configs by hand (it
   // IS the builder/validator).
   const bool mlnt010_applies = path.find("/scenario/") == std::string::npos;
+  // Shard-safety scopes. MLNT011 covers all simulator code; MLNT012 the
+  // layers that hold per-node state plus the composition root (scenario owns
+  // nodes_, so its accesses are exactly the ones that need an audit trail);
+  // MLNT013's member-call form everywhere except the kernel and the PHY
+  // delivery path, which ARE the sanctioned cross-shard machinery.
+  const bool in_src = in_path(path, "src/");
+  const bool node_layer = in_path(path, "src/routing/") || in_path(path, "src/mac/") ||
+                          in_path(path, "src/net/");
+  const bool mlnt012_applies = node_layer || in_path(path, "src/scenario/");
+  const bool mlnt013_member = !in_path(path, "src/core/") && !in_path(path, "src/phy/");
 
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& code = lines[i].code;
@@ -543,6 +878,48 @@ void check(const std::string& path, const std::vector<LineView>& lines,
           "field reorder; chain ScenarioBuilder setters and build() instead (or annotate "
           "`// manet-lint: allow-scenario-config - <why>`)");
     }
+    if (mlnt012_applies && has_cross_node_access(code)) {
+      add("MLNT012", n,
+          "direct access to another node's state (`nodes_[...]`/`.node(...)`) bypasses the "
+          "shard-safe delivery path; route through Channel/CrossShardQueue, or annotate "
+          "`// manet-lint: cross-shard-audited - <why it is shard-safe>`");
+    }
+    if (mlnt013_member && has_member_call(code, "schedule_on")) {
+      add("MLNT013", n,
+          "schedule_on() injects into a foreign shard's queue; outside the kernel/PHY delivery "
+          "path that must go through Channel (or carry `// manet-lint: allow-foreign-schedule "
+          "- <why>`)");
+    } else if (node_layer) {
+      const std::string owner = foreign_sim_schedule(code);
+      if (!owner.empty()) {
+        add("MLNT013", n,
+            "scheduling through `" + owner +
+                "`'s simulator handle runs the callback in a foreign node/shard context; "
+                "schedule via the owning component's own sim() (or annotate "
+                "`// manet-lint: allow-foreign-schedule - <why>`)");
+      }
+    }
+  }
+
+  // Scope-aware rules: one tokenize + scope walk per scan unit.
+  const ScopeAnalysis sc = analyze_scopes(tokenize(lines));
+  if (in_src) {
+    for (const MutableStatic& g : sc.mutable_statics) {
+      add("MLNT011", g.line,
+          std::string("mutable ") + g.kind + " state `" + g.name +
+              "` is shared across shards and defeats parallel dispatch; make it const, move "
+              "it into per-node/per-scenario state, or annotate `// manet-lint: "
+              "allow-global-state - <why it is shard-safe>`");
+    }
+  }
+  for (const ProtocolClass& c : sc.protocol_classes) {
+    if (!c.has_restart) {
+      add("MLNT014", c.line,
+          "RoutingProtocol subclass `" + c.name +
+              "` has no on_node_restart() override: a crashed node would resurrect with "
+              "stale routing state. Override it to cold-start (clear tables/seqnos), or "
+              "annotate `// manet-lint: allow-no-restart - <why>`");
+    }
   }
 
   if (is_header(path)) {
@@ -619,33 +996,56 @@ std::vector<Finding> lint_file(const std::filesystem::path& p) {
   return lint_text(p.generic_string(), text, paired);
 }
 
+std::string format_finding(const Finding& f, Format fmt) {
+  const RuleInfo* rule = rule_by_id(f.rule);
+  const char* name = rule != nullptr ? rule->name : "io-error";
+  if (fmt == Format::kGithub) {
+    // GitHub Actions workflow command: renders as an inline annotation on
+    // the PR diff. The message must stay single-line (ours always are).
+    return "::error file=" + f.file + ",line=" + std::to_string(f.line) + ",title=" + f.rule +
+           " " + name + "::" + f.message;
+  }
+  return f.file + ":" + std::to_string(f.line) + ": " + f.rule + " [" + name + "] " + f.message;
+}
+
 std::vector<Finding> lint_paths(const std::vector<std::filesystem::path>& roots) {
+  std::vector<Finding> out;
   std::vector<std::filesystem::path> files;
   const auto wanted = [](const std::filesystem::path& p) {
     const auto ext = p.extension();
     return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h" || ext == ".hh";
   };
   for (const std::filesystem::path& root : roots) {
-    if (std::filesystem::is_regular_file(root)) {
+    std::error_code ec;
+    if (std::filesystem::is_regular_file(root, ec)) {
       files.push_back(root);
       continue;
     }
-    if (!std::filesystem::is_directory(root)) {
+    if (!std::filesystem::is_directory(root, ec)) {
       files.push_back(root);  // surfaces as MLNT000 cannot-read
       continue;
     }
-    for (auto it = std::filesystem::recursive_directory_iterator(root);
-         it != std::filesystem::recursive_directory_iterator(); ++it) {
+    std::filesystem::recursive_directory_iterator it(root, ec);
+    if (ec) {
+      out.push_back({root.generic_string(), 0, "MLNT000",
+                     "cannot open directory: " + ec.message()});
+      continue;
+    }
+    for (; it != std::filesystem::recursive_directory_iterator(); it.increment(ec)) {
+      if (ec) {
+        out.push_back({root.generic_string(), 0, "MLNT000",
+                       "directory walk failed: " + ec.message()});
+        break;
+      }
       const std::string name = it->path().filename().string();
-      if (it->is_directory() && (name == "build" || name == ".git" || name == "lint_fixtures")) {
+      if (it->is_directory(ec) && (name == "build" || name == ".git" || name == "lint_fixtures")) {
         it.disable_recursion_pending();
         continue;
       }
-      if (it->is_regular_file() && wanted(it->path())) files.push_back(it->path());
+      if (it->is_regular_file(ec) && wanted(it->path())) files.push_back(it->path());
     }
   }
   std::sort(files.begin(), files.end());
-  std::vector<Finding> out;
   for (const std::filesystem::path& f : files) {
     auto fs = lint_file(f);
     out.insert(out.end(), fs.begin(), fs.end());
@@ -655,20 +1055,40 @@ std::vector<Finding> lint_paths(const std::vector<std::filesystem::path>& roots)
 
 int run_cli(int argc, const char* const* argv) {
   std::vector<std::filesystem::path> roots;
+  Format fmt = Format::kHuman;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--list-rules") {
-      std::printf("%-8s  %-20s  %-22s  %s\n", "id", "name", "suppression tag", "summary");
+      std::printf("%-8s  %-24s  %-24s  %s\n", "id", "name", "suppression tag", "summary");
       for (const RuleInfo& r : kRules) {
-        std::printf("%-8s  %-20s  %-22s  %s\n", r.id, r.name, r.tag[0] ? r.tag : "-", r.summary);
+        std::printf("%-8s  %-24s  %-24s  %s\n", r.id, r.name, r.tag[0] ? r.tag : "-", r.summary);
       }
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: manet_lint [--list-rules] <file|dir>...\n"
-                  "Scans C++ sources for manetsim determinism-invariant violations.\n"
-                  "Exit code: 0 clean, 1 findings, 2 usage error.\n");
+      std::printf("usage: manet_lint [--list-rules] [--format=human|github] <file|dir>...\n"
+                  "Scans C++ sources for manetsim determinism/shard-safety violations.\n"
+                  "  --format=github   emit ::error workflow-command annotations for CI\n"
+                  "Exit code: 0 clean, 1 findings, 2 usage error or nonexistent path.\n");
       return 0;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      const std::string_view v = arg.substr(9);
+      if (v == "github") {
+        fmt = Format::kGithub;
+      } else if (v == "human") {
+        fmt = Format::kHuman;
+      } else {
+        std::fprintf(stderr, "manet_lint: unknown format '%.*s' (expected human or github)\n",
+                     static_cast<int>(v.size()), v.data());
+        return 2;
+      }
+      continue;
+    }
+    if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "manet_lint: unknown option '%.*s' (try --help)\n",
+                   static_cast<int>(arg.size()), arg.data());
+      return 2;
     }
     roots.emplace_back(arg);
   }
@@ -676,11 +1096,20 @@ int run_cli(int argc, const char* const* argv) {
     std::fprintf(stderr, "manet_lint: no paths given (try --help)\n");
     return 2;
   }
+  // A typo'd CI path must fail loudly: linting nothing and reporting "clean"
+  // is how a required check silently stops checking anything.
+  bool missing = false;
+  for (const std::filesystem::path& r : roots) {
+    std::error_code ec;
+    if (!std::filesystem::exists(r, ec) || ec) {
+      std::fprintf(stderr, "manet_lint: path does not exist: %s\n", r.generic_string().c_str());
+      missing = true;
+    }
+  }
+  if (missing) return 2;
   const std::vector<Finding> findings = lint_paths(roots);
   for (const Finding& f : findings) {
-    std::printf("%s:%d: %s [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-                rule_by_id(f.rule) != nullptr ? rule_by_id(f.rule)->name : "io-error",
-                f.message.c_str());
+    std::printf("%s\n", format_finding(f, fmt).c_str());
   }
   if (findings.empty()) {
     std::fprintf(stderr, "manet_lint: clean\n");

@@ -15,6 +15,19 @@
 //   MLNT007 missing-pragma-once  header without #pragma once
 //   MLNT008 float-equality       ==/!= against floating-point literals
 //   MLNT009 bad-suppression      malformed or rationale-free suppression
+//   MLNT010 scenario-config-aggregate  brace-construction bypassing builder
+//
+// Shard-safety rules (the static half of the shard-safety checker; the
+// dynamic half is core/shard_sentinel.hpp). These are scope-aware: a
+// lightweight tokenizer tracks namespace/class/function nesting, so the
+// checker knows a `static` inside a function from a class data member and
+// can see a whole class body when looking for a missing override:
+//
+//   MLNT011 shard-unsafe-global  mutable namespace-scope/static state in src/
+//   MLNT012 cross-node-access    touching another node's state directly
+//   MLNT013 foreign-shard-schedule  scheduling into a foreign shard context
+//   MLNT014 missing-restart-override  RoutingProtocol subclass without
+//                                on_node_restart()
 //
 // Suppressions: append `// manet-lint: <tag> - <rationale>` to the offending
 // line (or the line directly above it). Each rule has a tag (see rules()).
@@ -46,6 +59,14 @@ struct RuleInfo {
 /// The rule table, in id order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
 
+/// Output styles for findings: the human one-liner, or GitHub Actions
+/// workflow-command annotations (`::error file=...,line=...`) that render
+/// inline on the PR diff.
+enum class Format { kHuman, kGithub };
+
+/// Render one finding in the given format (no trailing newline).
+[[nodiscard]] std::string format_finding(const Finding& f, Format fmt);
+
 /// Lint one file given its text. `paired_text` is the matching header of a
 /// .cpp (member containers are declared there); empty when not applicable.
 [[nodiscard]] std::vector<Finding> lint_text(const std::string& path, const std::string& text,
@@ -60,7 +81,9 @@ struct RuleInfo {
 [[nodiscard]] std::vector<Finding> lint_paths(const std::vector<std::filesystem::path>& roots);
 
 /// Command-line driver: prints findings and returns the process exit code
-/// (0 clean, 1 findings, 2 usage/io error).
+/// (0 clean, 1 findings, 2 usage error / nonexistent path). Paths that do
+/// not exist are hard errors, never silently skipped; unreadable files
+/// surface as MLNT000 findings naming the path.
 int run_cli(int argc, const char* const* argv);
 
 }  // namespace manet::lint
