@@ -70,6 +70,7 @@ inline void report(benchmark::State& state, const SweepCellResult& cell, Metric 
   }
   state.counters["seeds"] = a.replications;
   state.counters["ev_per_s"] = cell.events_per_sec;
+  if (cell.bytes_per_node > 0.0) state.counters["b_per_node"] = cell.bytes_per_node;
 }
 
 /// One bench binary = one Suite: labeled cells accumulated by main(), then
@@ -241,6 +242,13 @@ inline ScenarioConfig sources_cell(Protocol p, double sources) {
       .speed(0.1, 10.0)
       .connections(static_cast<std::uint32_t>(sources))
       .build();
+}
+
+/// Scale suite: the urban Manhattan family at constant density — the city
+/// grows with N, so this sweeps metropolitan size, not node density (see
+/// urban_scenario() in scenario/builder.hpp).
+inline ScenarioConfig urban_cell(Protocol p, double nodes) {
+  return urban_scenario(static_cast<std::uint32_t>(nodes)).protocol(p).seed(1).build();
 }
 
 /// Fault suite: moderate Table-I-style network, sweep the expected number of

@@ -1,0 +1,26 @@
+// fig_scale — metropolitan-scale sweep over the urban Manhattan family.
+//
+// Sweeps city size N in {40, 200, 1000, 2000, 5000, 10000} at constant
+// density (~50 nodes/km²; the area grows with N), reporting the two scale
+// metrics the bench gate guards: events/sec (throughput of fixed,
+// deterministic work) and bytes-per-node (process peak RSS / N). Sub-
+// quadratic growth of total events × time in N is the figure's claim — the
+// hot paths are grid-local, so doubling the city should roughly double the
+// work, not quadruple it.
+//
+// The n:2000 cell is the CI scale-smoke canary (--cell=n:2000 under pinned
+// MANET_BENCH_SEEDS/MANET_BENCH_DURATION, gated against BENCH_scale.json);
+// the full sweep including the 10k-node city runs in the nightly scale job.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace manet;
+  bench::Suite suite("fig_scale", /*default_seeds=*/1);
+  for (const std::uint32_t n : {40u, 200u, 1000u, 2000u, 5000u, 10000u}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "AODV/n:%u", n);
+    suite.add(label, bench::urban_cell(Protocol::kAodv, n), bench::Metric::kAll);
+  }
+  return suite.run(argc, argv,
+                   "fig_scale: urban Manhattan family at constant density, city-size sweep");
+}

@@ -1,0 +1,92 @@
+// Arena-backed storage for per-node mobility state.
+//
+// A scenario owns one mobility model per node. Allocating each model with
+// its own unique_ptr scatters them across the heap, and the channel's
+// periodic position refresh — the one loop that is inherently O(N) — then
+// takes a cache miss per node. At N = 10,000 that loop runs 4x a simulated
+// second, so locality matters. The pool bump-allocates models from large
+// contiguous blocks in construction order: all N models of a scenario (one
+// concrete type in practice) end up adjacent in memory, and the refresh
+// walks them sequentially.
+//
+// Ownership: the pool owns every object it makes and destroys them (in
+// reverse construction order) when it is destroyed or clear()ed. Callers
+// hold raw non-owning pointers; the pool must outlive them — Scenario
+// declares its pool before the nodes/channel that point into it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+
+namespace manet {
+
+class MobilityPool {
+ public:
+  MobilityPool() = default;
+  MobilityPool(const MobilityPool&) = delete;
+  MobilityPool& operator=(const MobilityPool&) = delete;
+  ~MobilityPool() { clear(); }
+
+  /// Construct a model of concrete type T inside the arena. The returned
+  /// pointer stays valid for the pool's lifetime (blocks never move).
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    static_assert(std::is_base_of_v<MobilityModel, T>);
+    void* mem = allocate(sizeof(T), alignof(T));
+    T* obj = new (mem) T(std::forward<Args>(args)...);
+    objects_.push_back(obj);
+    return obj;
+  }
+
+  /// Number of live models.
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+
+  /// Destroy every model (reverse construction order) and release the arena.
+  void clear() {
+    for (std::size_t i = objects_.size(); i > 0; --i) objects_[i - 1]->~MobilityModel();
+    objects_.clear();
+    blocks_.clear();
+    block_used_ = 0;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t cap = 0;
+  };
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (!blocks_.empty()) {
+      const std::size_t aligned = (block_used_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= blocks_.back().cap) {
+        block_used_ = aligned + bytes;
+        return blocks_.back().mem.get() + aligned;
+      }
+    }
+    // Geometric block growth, floor 64 KiB: a 10k-node scenario fits in a
+    // handful of mmap'd slabs instead of 10k separate allocations.
+    std::size_t cap = blocks_.empty() ? kMinBlock : blocks_.back().cap * 2;
+    if (cap < bytes + align) cap = bytes + align;
+    Block b;
+    b.mem = std::make_unique<std::byte[]>(cap);
+    b.cap = cap;
+    blocks_.push_back(std::move(b));
+    // operator new[] returns maximally aligned storage; realign the cursor.
+    const std::size_t base = reinterpret_cast<std::size_t>(blocks_.back().mem.get());
+    const std::size_t aligned = ((base + align - 1) & ~(align - 1)) - base;
+    block_used_ = aligned + bytes;
+    return blocks_.back().mem.get() + aligned;
+  }
+
+  static constexpr std::size_t kMinBlock = 64 * 1024;
+
+  std::vector<Block> blocks_;
+  std::size_t block_used_ = 0;          ///< bytes used in blocks_.back()
+  std::vector<MobilityModel*> objects_;  ///< construction order, for dtors
+};
+
+}  // namespace manet

@@ -6,11 +6,11 @@
 namespace manet {
 
 Node::Node(Simulator& sim, StatsCollector& stats, Channel& channel, NodeId id,
-           MobilityPtr mobility, const MacConfig& mac_cfg, std::uint64_t root_seed)
+           MobilityModel* mobility, const MacConfig& mac_cfg, std::uint64_t root_seed)
     : sim_(sim),
       stats_(stats),
       id_(id),
-      mobility_(std::move(mobility)),
+      mobility_(mobility),
       trx_(sim, channel.config(), id),
       mac_(sim, mac_cfg, trx_, stats, RngStream(root_seed, "mac", id)),
       arp_(sim, id, mac_, stats) {
@@ -20,7 +20,7 @@ Node::Node(Simulator& sim, StatsCollector& stats, Channel& channel, NodeId id,
   // ARP give-up is link-layer failure feedback, same as MAC retry exhaustion.
   arp_.set_failure_handler(
       [this](const Packet& pkt, NodeId next_hop) { mac_link_failure(pkt, next_hop); });
-  channel.add(&trx_, mobility_.get());
+  channel.add(&trx_, mobility_);
 }
 
 void Node::originate(Packet pkt) {

@@ -29,9 +29,12 @@ inline constexpr std::uint8_t kInitialTtl = 64;
 class Node final : public MacListener {
  public:
   /// Constructs the stack and registers the node with the channel. Nodes
-  /// must be constructed in id order (0, 1, 2, ...).
-  Node(Simulator& sim, StatsCollector& stats, Channel& channel, NodeId id, MobilityPtr mobility,
-       const MacConfig& mac_cfg, std::uint64_t root_seed);
+  /// must be constructed in id order (0, 1, 2, ...). `mobility` is non-owning
+  /// and must outlive the node — the Scenario's MobilityPool arena holds all
+  /// models contiguously so the channel's position refresh walks them in
+  /// cache order.
+  Node(Simulator& sim, StatsCollector& stats, Channel& channel, NodeId id,
+       MobilityModel* mobility, const MacConfig& mac_cfg, std::uint64_t root_seed);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -95,7 +98,7 @@ class Node final : public MacListener {
   Simulator& sim_;
   StatsCollector& stats_;
   NodeId id_;
-  MobilityPtr mobility_;
+  MobilityModel* mobility_;  ///< non-owning; lives in the scenario's pool
   Transceiver trx_;
   WifiMac mac_;
   Arp arp_;

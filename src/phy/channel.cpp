@@ -13,9 +13,13 @@ Channel::Channel(Simulator& sim, const PhyConfig& cfg, Area area, SimTime refres
       grid_(area, cfg.cs_range_m),
       refresh_(refresh),
       loss_rng_(seed, "channel-loss"),
-      fault_rng_(seed, "fault-corrupt") {
+      fault_rng_(seed, "fault-corrupt"),
+      shadow_rng_(seed, "urban-shadow") {
   MANET_EXPECTS(refresh > SimTime::zero());
   MANET_EXPECTS(cfg.frame_loss_rate >= 0.0 && cfg.frame_loss_rate < 1.0);
+  MANET_EXPECTS(cfg.street_width_m >= 0.0);
+  MANET_EXPECTS(cfg.nlos_loss_rate >= 0.0 && cfg.nlos_loss_rate < 1.0);
+  if (cfg.urban()) MANET_EXPECTS(cfg.nlos_rx_range_m > 0.0 && cfg.nlos_rx_range_m <= cfg.rx_range_m);
 }
 
 void Channel::add(Transceiver* trx, MobilityModel* mob) {
@@ -50,8 +54,10 @@ void Channel::refresh_positions() {
     });
     // The grid is shared; mutate it serially in id order — same order the
     // single-threaded loop used, so cell occupancy lists stay identical.
+    // manet-lint: allow-node-scan - periodic 4 Hz grid refresh, not per-event
     for (std::uint32_t i = 0; i < trx_.size(); ++i) grid_.update(i, refresh_pos_[i]);
   } else {
+    // manet-lint: allow-node-scan - periodic 4 Hz grid refresh, not per-event
     for (std::uint32_t i = 0; i < trx_.size(); ++i) {
       grid_.update(i, mob_[i]->position_at(sim_.now()));
     }
@@ -92,6 +98,8 @@ SimTime Channel::transmit(NodeId sender, const Packet& frame) {
 
   const double rx2 = cfg_.rx_range_m * cfg_.rx_range_m;
   const double cs2 = cfg_.cs_range_m * cfg_.cs_range_m;
+  const bool urban = cfg_.urban();
+  const double nlos_rx2 = cfg_.nlos_rx_range_m * cfg_.nlos_rx_range_m;
   // One pooled read-only copy is shared by every decodable arrival of this
   // transmission (receivers copy what they need at rx_start); a broadcast to
   // k neighbours no longer deep-copies the frame k times.
@@ -110,6 +118,19 @@ SimTime Channel::transmit(NodeId sender, const Packet& frame) {
     const SimTime prop = cfg_.propagation(std::sqrt(d2));
     Transceiver* rx = trx_[id];
     bool faded = cfg_.frame_loss_rate > 0.0 && loss_rng_.chance(cfg_.frame_loss_rate);
+    // Urban street-canyon shadowing: an NLOS pair decodes only within the
+    // short diffraction range, and then only past an extra loss draw. The
+    // shadow stream is consumed solely on urban NLOS decode candidates, so
+    // open-field runs (urban == false) draw exactly as before — the pinned
+    // goldens never see this branch. Interference (the carrier-only path
+    // below) is untouched: energy still trips carrier sense at cs_range.
+    if (urban && d2 <= rx2 && !cfg_.line_of_sight(src, dst)) {
+      if (d2 > nlos_rx2) {
+        faded = true;
+      } else if (!faded && cfg_.nlos_loss_rate > 0.0 && shadow_rng_.chance(cfg_.nlos_loss_rate)) {
+        faded = true;
+      }
+    }
     if (d2 <= rx2 && !faded && corrupt_rate > 0.0 && fault_rng_.chance(corrupt_rate)) {
       // Channel corruption: the frame still arrives as interference (the
       // carrier-only path below), it just cannot be decoded.

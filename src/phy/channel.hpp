@@ -76,7 +76,8 @@ class Channel {
   GridIndex grid_;
   SimTime refresh_;
   RngStream loss_rng_;
-  RngStream fault_rng_;  ///< corruption draws; untouched outside corrupt windows
+  RngStream fault_rng_;   ///< corruption draws; untouched outside corrupt windows
+  RngStream shadow_rng_;  ///< urban NLOS draws; untouched in open-field runs
   const FaultRuntime* fault_ = nullptr;
   StatsCollector* stats_ = nullptr;
   const ShardMap* shard_map_ = nullptr;

@@ -6,9 +6,11 @@
 // and a 550 m carrier-sense/interference range.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 
 #include "core/time.hpp"
+#include "geom/vec2.hpp"
 
 namespace manet {
 
@@ -27,6 +29,29 @@ struct PhyConfig {
   // Energy model (ns-2 WaveLAN-style defaults, joules = watts x seconds).
   double tx_power_w = 1.4;  ///< transmit power draw
   double rx_power_w = 1.0;  ///< receive power draw
+
+  // -- urban obstacle/shadowing model (off by default) -------------------------
+  // A street-canyon approximation for the Manhattan-grid scenario family:
+  // buildings fill the blocks, so two radios decode each other at full range
+  // only when they share a street corridor (x- or y-coordinates within one
+  // street width). Non-line-of-sight pairs fall back to a short
+  // around-the-corner diffraction range plus an extra independent loss draw.
+  // Carrier-sense/interference reach is deliberately unchanged — energy
+  // leaks over rooftops — which keeps MAC timing comparable between the
+  // open-field and urban families. street_width_m == 0 disables the model
+  // entirely: no LOS tests, no extra RNG draws, open-field goldens intact.
+  double street_width_m = 0.0;    ///< corridor half-plane width; 0 = open field
+  double nlos_rx_range_m = 75.0;  ///< decode range without line of sight
+  double nlos_loss_rate = 0.0;    ///< extra per-frame loss on NLOS links
+
+  /// True when the urban street-canyon model is active.
+  [[nodiscard]] bool urban() const { return street_width_m > 0.0; }
+
+  /// Street-corridor line-of-sight test (always true in the open field).
+  [[nodiscard]] bool line_of_sight(Vec2 a, Vec2 b) const {
+    if (!urban()) return true;
+    return std::abs(a.x - b.x) <= street_width_m || std::abs(a.y - b.y) <= street_width_m;
+  }
 
   /// Time on air for a frame of `bytes`.
   [[nodiscard]] SimTime airtime(std::size_t bytes) const {

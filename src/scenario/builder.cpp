@@ -1,5 +1,7 @@
 #include "scenario/builder.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "core/assert.hpp"
@@ -120,6 +122,14 @@ ScenarioBuilder& ScenarioBuilder::frame_loss(double rate) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::urban(double street_width_m, double nlos_range_m,
+                                        double nlos_loss) {
+  cfg_.phy.street_width_m = street_width_m;
+  cfg_.phy.nlos_rx_range_m = nlos_range_m;
+  cfg_.phy.nlos_loss_rate = nlos_loss;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::with(const std::function<void(ScenarioConfig&)>& fn) {
   MANET_EXPECTS(fn != nullptr);
   fn(cfg_);
@@ -182,6 +192,17 @@ ScenarioConfig ScenarioBuilder::build() const {
   MANET_EXPECTS_MSG(cfg.phy.frame_loss_rate >= 0.0 && cfg.phy.frame_loss_rate < 1.0,
                     "frame_loss_rate must be in [0, 1), got %g", cfg.phy.frame_loss_rate);
 
+  MANET_EXPECTS_MSG(cfg.phy.street_width_m >= 0.0, "street_width_m must be >= 0, got %g",
+                    cfg.phy.street_width_m);
+  if (cfg.phy.urban()) {
+    MANET_EXPECTS_MSG(
+        cfg.phy.nlos_rx_range_m > 0.0 && cfg.phy.nlos_rx_range_m <= cfg.phy.rx_range_m,
+        "nlos_rx_range_m must be in (0, rx_range], got %g (rx_range %g)",
+        cfg.phy.nlos_rx_range_m, cfg.phy.rx_range_m);
+    MANET_EXPECTS_MSG(cfg.phy.nlos_loss_rate >= 0.0 && cfg.phy.nlos_loss_rate < 1.0,
+                      "nlos_loss_rate must be in [0, 1), got %g", cfg.phy.nlos_loss_rate);
+  }
+
   if (cfg.fault.enabled()) {
     const FaultConfig& f = cfg.fault;
     MANET_EXPECTS_MSG(f.crash_rate >= 0.0, "crash_rate must be >= 0, got %g", f.crash_rate);
@@ -219,5 +240,23 @@ ScenarioConfig ScenarioBuilder::build() const {
 }
 
 ScenarioResult ScenarioBuilder::run() const { return Scenario::run_once(build()); }
+
+ScenarioBuilder urban_scenario(std::uint32_t nodes) {
+  // Constant density: the paper's 50 nodes over ~1 km², with the city side
+  // quantized to whole 200 m blocks so streets terminate at intersections.
+  const double block = 200.0;
+  double side = std::sqrt(static_cast<double>(nodes) / 50.0) * 1000.0;
+  side = std::max(block, std::round(side / block) * block);
+  // Flow count grows sub-linearly so per-node offered load shrinks with city
+  // size, as in real urban traces (most nodes are relays, not endpoints).
+  const std::uint32_t flows = std::max<std::uint32_t>(10, nodes / 100);
+  return ScenarioBuilder()
+      .nodes(nodes)
+      .area(side, side)
+      .mobility(MobilityKind::kManhattan)
+      .speed(1.0, 15.0)  // vehicular street speeds
+      .connections(flows)
+      .urban(/*street_width_m=*/20.0, /*nlos_range_m=*/75.0, /*nlos_loss=*/0.1);
+}
 
 }  // namespace manet

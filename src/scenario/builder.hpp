@@ -73,6 +73,12 @@ class ScenarioBuilder {
   ScenarioBuilder& phy(const PhyConfig& phy);
   ScenarioBuilder& mac(const MacConfig& mac);
   ScenarioBuilder& frame_loss(double rate);
+  /// Urban street-canyon shadowing (see PhyConfig): NLOS pairs decode only
+  /// within `nlos_range_m` and suffer an extra `nlos_loss` probability of
+  /// loss. `street_width_m` = 0 turns the model off. Usually combined with
+  /// mobility(MobilityKind::kManhattan) — see urban_scenario().
+  ScenarioBuilder& urban(double street_width_m, double nlos_range_m = 75.0,
+                         double nlos_loss = 0.0);
 
   /// Escape hatch for knobs without a dedicated setter (per-protocol config
   /// blocks, mobility-model extras). Runs immediately on the staged config.
@@ -89,5 +95,14 @@ class ScenarioBuilder {
   ScenarioConfig cfg_;
   std::string protocol_name_;  ///< deferred by-name lookup; resolved in build()
 };
+
+/// The urban (Manhattan-grid) scenario family: street-constrained mobility
+/// over square city blocks with street-canyon shadowing, at constant density
+/// (~50 nodes/km², the paper's 50 nodes over 1 km²) so the area grows with
+/// the node count and N is the only free variable when sweeping city size.
+/// Flow count scales gently (10 flows up to 1k nodes, then +1 per 100).
+/// Chain protocol()/seed()/duration()/shards() onto the returned builder;
+/// every registered protocol runs the family unchanged.
+[[nodiscard]] ScenarioBuilder urban_scenario(std::uint32_t nodes);
 
 }  // namespace manet

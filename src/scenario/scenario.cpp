@@ -9,7 +9,6 @@
 #include "mobility/random_walk.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "mobility/static_mobility.hpp"
-#include "routing/shortest_path.hpp"
 
 namespace manet {
 
@@ -122,16 +121,18 @@ void Scenario::build() {
 
   // Mobility models come first: the shard assignment is a pure function of
   // the seeded initial placement, so every model must exist before the first
-  // node is wired up.
-  std::vector<MobilityPtr> mobility;
+  // node is wired up. All models live in the arena pool, id-ordered and
+  // contiguous, so the channel's periodic position refresh — the one loop
+  // that must visit every node — walks them sequentially in memory.
+  std::vector<MobilityModel*> mobility;
   std::vector<Vec2> positions;
   mobility.reserve(cfg_.num_nodes);
   positions.reserve(cfg_.num_nodes);
   for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
-    MobilityPtr mob;
+    MobilityModel* mob = nullptr;
     RngStream mrng(cfg_.seed, "mobility", i);
     if (cfg_.static_nodes) {
-      mob = std::make_unique<StaticMobility>(
+      mob = mobility_pool_.make<StaticMobility>(
           Vec2{mrng.uniform(0.0, cfg_.area.width), mrng.uniform(0.0, cfg_.area.height)});
     } else {
       switch (cfg_.mobility) {
@@ -142,7 +143,7 @@ void Scenario::build() {
           wp.v_max = cfg_.v_max;
           wp.pause = cfg_.pause;
           wp.warmup = cfg_.mobility_warmup;
-          mob = std::make_unique<RandomWaypoint>(wp, mrng);
+          mob = mobility_pool_.make<RandomWaypoint>(wp, mrng);
           break;
         }
         case MobilityKind::kRandomWalk: {
@@ -150,7 +151,7 @@ void Scenario::build() {
           rw.area = cfg_.area;
           rw.v_min = cfg_.v_min;
           rw.v_max = cfg_.v_max;
-          mob = std::make_unique<RandomWalk>(rw, mrng);
+          mob = mobility_pool_.make<RandomWalk>(rw, mrng);
           break;
         }
         case MobilityKind::kGaussMarkov: {
@@ -158,7 +159,7 @@ void Scenario::build() {
           gm.area = cfg_.area;
           gm.mean_speed = 0.5 * (cfg_.v_min + cfg_.v_max);
           gm.max_speed = cfg_.v_max * 1.25;
-          mob = std::make_unique<GaussMarkov>(gm, mrng);
+          mob = mobility_pool_.make<GaussMarkov>(gm, mrng);
           break;
         }
         case MobilityKind::kManhattan: {
@@ -166,13 +167,13 @@ void Scenario::build() {
           mh.area = cfg_.area;
           mh.v_min = std::max(cfg_.v_min, 0.5);
           mh.v_max = cfg_.v_max;
-          mob = std::make_unique<Manhattan>(mh, mrng);
+          mob = mobility_pool_.make<Manhattan>(mh, mrng);
           break;
         }
       }
     }
     positions.push_back(mob->position_at(SimTime::zero()));
-    mobility.push_back(std::move(mob));
+    mobility.push_back(mob);
   }
 
   // Shard the kernel before anything is scheduled. With one shard (the
@@ -192,8 +193,8 @@ void Scenario::build() {
 
   for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
     const ShardScope scope(sim_, shard_map_.shard_of(i));
-    nodes_.push_back(std::make_unique<Node>(sim_, stats_, *channel_, i, std::move(mobility[i]),
-                                            cfg_.mac, cfg_.seed));
+    nodes_.push_back(
+        std::make_unique<Node>(sim_, stats_, *channel_, i, mobility[i], cfg_.mac, cfg_.seed));
   }
 
   if (!cfg_.trace_path.empty()) {
@@ -283,19 +284,62 @@ void Scenario::build() {
 }
 
 void Scenario::sample_connectivity() {
-  // Instantaneous unit-disk graph over exact positions.
-  AdjacencyMap adj;
-  for (std::uint32_t i = 0; i < cfg_.num_nodes; ++i) {
-    adj[i] = channel_->neighbors_of(i, cfg_.phy.rx_range_m);
-  }
-  // One BFS per distinct flow source covers all its destinations.
-  std::unordered_map<NodeId, SpfResult> by_src;
+  // Reachability in the instantaneous unit-disk graph over exact positions.
+  // The adjacency is never materialized: one lazy BFS per distinct flow
+  // source expands grid-locally through Channel::neighbors_of and stops as
+  // soon as every destination of that source has been reached. This replaced
+  // an O(N) sweep that built the full N-node adjacency map each second —
+  // intractable bookkeeping at N = 10,000 when only a handful of flow
+  // endpoints matter. Reachability over the same graph is unchanged, so the
+  // connectivity metric (and the pinned goldens) stay byte-identical.
+  const PhyConfig& phy = cfg_.phy;
+  const double radius = phy.rx_range_m;
+  const double nlos_r2 = phy.nlos_rx_range_m * phy.nlos_rx_range_m;
+  conn_mark_.resize(cfg_.num_nodes, 0);
+
+  // Group destinations by source in first-appearance order (deterministic;
+  // duplicates kept — each flow is one sample).
+  std::vector<std::pair<NodeId, std::vector<NodeId>>> by_src;
   for (const auto& [src, dst] : flows_) {
-    auto it = by_src.find(src);
-    if (it == by_src.end()) it = by_src.emplace(src, shortest_paths(src, adj)).first;
-    ++conn_samples_;
-    if (it->second.dist.contains(dst)) ++conn_connected_;
+    auto it = std::find_if(by_src.begin(), by_src.end(),
+                           [s = src](const auto& e) { return e.first == s; });
+    if (it == by_src.end()) it = by_src.insert(by_src.end(), {src, {}});
+    it->second.push_back(dst);
   }
+
+  for (const auto& [src, dsts] : by_src) {
+    const std::uint32_t epoch = ++conn_epoch_;
+    conn_mark_[src] = epoch;
+    conn_frontier_.assign(1, src);
+    auto reached_all = [&] {
+      return std::all_of(dsts.begin(), dsts.end(),
+                         [&](NodeId d) { return conn_mark_[d] == epoch; });
+    };
+    while (!conn_frontier_.empty() && !reached_all()) {
+      conn_next_.clear();
+      for (const NodeId u : conn_frontier_) {
+        for (const NodeId v : channel_->neighbors_of(u, radius)) {
+          if (conn_mark_[v] == epoch) continue;
+          // Urban family: the oracle honours the street-canyon model — an
+          // NLOS pair is an edge only within the diffraction range. Open
+          // field (urban() == false) takes the plain unit-disk edge.
+          if (phy.urban()) {
+            const Vec2 pu = channel_->position_of(u);
+            const Vec2 pv = channel_->position_of(v);
+            if (!phy.line_of_sight(pu, pv) && distance2(pu, pv) > nlos_r2) continue;
+          }
+          conn_mark_[v] = epoch;
+          conn_next_.push_back(v);
+        }
+      }
+      conn_frontier_.swap(conn_next_);
+    }
+    for (const NodeId dst : dsts) {
+      ++conn_samples_;
+      if (conn_mark_[dst] == epoch) ++conn_connected_;
+    }
+  }
+
   if (sim_.now() + seconds(1) <= cfg_.duration) {
     sim_.schedule(seconds(1), [this] { sample_connectivity(); });
   }

@@ -19,6 +19,7 @@
 #include "mac/mac_config.hpp"
 #include "mobility/gauss_markov.hpp"
 #include "mobility/manhattan.hpp"
+#include "mobility/mobility_pool.hpp"
 #include "net/node.hpp"
 #include "phy/channel.hpp"
 #include "routing/aodv/aodv.hpp"
@@ -196,6 +197,9 @@ class Scenario {
   ShardMap shard_map_;
   unsigned shards_ = 1;
   StatsCollector stats_;
+  // Declared before channel_/nodes_: those hold raw pointers into the pool
+  // and must be destroyed first (reverse declaration order).
+  MobilityPool mobility_pool_;
   std::unique_ptr<Channel> channel_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<RoutingProtocol>> protocols_;
@@ -207,6 +211,12 @@ class Scenario {
   std::vector<std::pair<NodeId, NodeId>> flows_;
   std::uint64_t conn_samples_ = 0;
   std::uint64_t conn_connected_ = 0;
+  // Lazy-BFS scratch for sample_connectivity(): epoch-marked visit flags
+  // (no O(N) clear per source) plus reusable frontier buffers.
+  std::vector<std::uint32_t> conn_mark_;
+  std::uint32_t conn_epoch_ = 0;
+  std::vector<NodeId> conn_frontier_;
+  std::vector<NodeId> conn_next_;
   bool built_ = false;
 };
 

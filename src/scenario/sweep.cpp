@@ -8,6 +8,10 @@
 #include <sstream>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "core/assert.hpp"
 
 namespace manet {
@@ -72,6 +76,20 @@ bool write_text_file(const std::string& path, const std::string& text) {
 
 }  // namespace
 
+std::uint64_t process_peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
 const SweepCellResult* SweepResult::find(std::string_view label) const {
   for (const SweepCellResult& c : cells) {
     if (c.label == label) return &c;
@@ -91,6 +109,7 @@ std::string SweepResult::to_json() const {
      << "  \"total_events\": " << total_events << ",\n"
      << "  \"events_per_sec\": " << events_per_sec << ",\n"
      << "  \"peak_queue_depth\": " << peak_queue_depth << ",\n"
+     << "  \"peak_rss_bytes\": " << peak_rss_bytes << ",\n"
      << "  \"cells\": [";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const SweepCellResult& c = cells[i];
@@ -106,12 +125,15 @@ std::string SweepResult::to_json() const {
     });
     os << "},\n     \"profile\": {\"wall_s\": " << c.wall_s
        << ", \"events_per_sec\": " << c.events_per_sec
-       << ", \"peak_queue_depth\": " << c.peak_queue_depth << ", \"runs\": [";
+       << ", \"peak_queue_depth\": " << c.peak_queue_depth
+       << ", \"peak_rss_bytes\": " << c.peak_rss_bytes
+       << ", \"bytes_per_node\": " << c.bytes_per_node << ", \"runs\": [";
     for (std::size_t k = 0; k < c.runs.size(); ++k) {
       const RunProfile& r = c.runs[k];
       os << (k == 0 ? "" : ", ") << "{\"seed\": " << r.seed << ", \"wall_s\": " << r.wall_s
          << ", \"sim_rate\": " << r.sim_rate << ", \"events_per_sec\": " << r.events_per_sec
          << ", \"events\": " << r.events << ", \"peak_queue_depth\": " << r.peak_queue_depth
+         << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
          << ", \"shards\": " << r.shards << ", \"cross_shard_events\": " << r.cross_shard_events
          << '}';
     }
@@ -126,13 +148,15 @@ std::string SweepResult::to_csv() const {
   os.precision(10);
   os << "label";
   for (const MetricDef& d : kMetricDefs) os << ',' << d.name << "_mean," << d.name << "_se";
-  os << ",replications,total_events,wall_s,events_per_sec,peak_queue_depth\n";
+  os << ",replications,total_events,wall_s,events_per_sec,peak_queue_depth"
+     << ",peak_rss_bytes,bytes_per_node\n";
   for (const SweepCellResult& c : cells) {
     csv_field(os, c.label);
     c.aggregate.for_each(
         [&](const char*, const Metric& m) { os << ',' << m.mean << ',' << m.se; });
     os << ',' << c.aggregate.replications << ',' << c.aggregate.total_events << ',' << c.wall_s
-       << ',' << c.events_per_sec << ',' << c.peak_queue_depth << '\n';
+       << ',' << c.events_per_sec << ',' << c.peak_queue_depth << ',' << c.peak_rss_bytes << ','
+       << c.bytes_per_node << '\n';
   }
   return os.str();
 }
@@ -149,7 +173,11 @@ std::string SweepResult::to_baseline_json() const {
     json_escape(os, name);
     os << '/';
     json_escape(os, c.label);
-    os << "\", \"events_per_sec\": " << c.events_per_sec << ", \"wall_s\": " << c.wall_s << '}';
+    os << "\", \"events_per_sec\": " << c.events_per_sec << ", \"wall_s\": " << c.wall_s;
+    // bench_gate gates memory only when baseline AND fresh both carry the
+    // field, so pre-existing baselines without it keep passing unchanged.
+    if (c.bytes_per_node > 0.0) os << ", \"bytes_per_node\": " << c.bytes_per_node;
+    os << '}';
   }
   os << "\n  ]\n}\n";
   return os.str();
@@ -202,6 +230,7 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& cells) const {
       p.wall_s = wall;
       p.events = r.events;
       p.peak_queue_depth = r.peak_queue_depth;
+      p.peak_rss_bytes = process_peak_rss_bytes();
       p.shards = r.shards;
       p.cross_shard_events = r.cross_shard_events;
       if (wall > 0.0) {
@@ -240,13 +269,19 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& cells) const {
     for (const RunProfile& p : cell.runs) {
       cell.wall_s += p.wall_s;
       cell.peak_queue_depth = std::max(cell.peak_queue_depth, p.peak_queue_depth);
+      cell.peak_rss_bytes = std::max(cell.peak_rss_bytes, p.peak_rss_bytes);
     }
     if (cell.wall_s > 0.0) {
       cell.events_per_sec =
           static_cast<double>(cell.aggregate.total_events) / cell.wall_s;
     }
+    if (cells[c].config.num_nodes > 0) {
+      cell.bytes_per_node = static_cast<double>(cell.peak_rss_bytes) /
+                            static_cast<double>(cells[c].config.num_nodes);
+    }
     sweep.total_events += cell.aggregate.total_events;
     sweep.peak_queue_depth = std::max(sweep.peak_queue_depth, cell.peak_queue_depth);
+    sweep.peak_rss_bytes = std::max(sweep.peak_rss_bytes, cell.peak_rss_bytes);
     sweep.cells.push_back(std::move(cell));
   }
   if (sweep.wall_s > 0.0) {

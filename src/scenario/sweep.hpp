@@ -42,6 +42,11 @@ struct RunProfile {
   double events_per_sec = 0.0;
   std::uint64_t events = 0;
   std::size_t peak_queue_depth = 0;
+  /// Process peak RSS sampled right after this replication finished. A
+  /// process-wide high-water mark: meaningful for memory gating when the
+  /// sweep runs single-threaded, seed-by-seed (the bench_gate recipe); an
+  /// upper bound otherwise.
+  std::uint64_t peak_rss_bytes = 0;
   /// Sharded-kernel accounting (1 / 0 for unsharded runs).
   std::uint32_t shards = 1;
   std::uint64_t cross_shard_events = 0;
@@ -55,6 +60,10 @@ struct SweepCellResult {
   double wall_s = 0.0;             ///< summed replication wall-clock (CPU cost)
   double events_per_sec = 0.0;     ///< cell events / cell wall_s
   std::size_t peak_queue_depth = 0;  ///< max over replications
+  std::uint64_t peak_rss_bytes = 0;  ///< max over replications
+  /// peak_rss_bytes / num_nodes — the scale sweep's memory-per-node metric,
+  /// gated by tools/bench_gate alongside events_per_sec.
+  double bytes_per_node = 0.0;
 };
 
 struct SweepResult {
@@ -66,6 +75,7 @@ struct SweepResult {
   std::uint64_t total_events = 0;
   double events_per_sec = 0.0;     ///< pool throughput: total_events / wall_s
   std::size_t peak_queue_depth = 0;
+  std::uint64_t peak_rss_bytes = 0;  ///< max over all replications
 
   /// Cell lookup by label; nullptr when absent.
   [[nodiscard]] const SweepCellResult* find(std::string_view label) const;
@@ -87,6 +97,9 @@ struct SweepResult {
   bool write_json(const std::string& path) const;
   bool write_csv(const std::string& path) const;
 };
+
+/// Process-wide peak resident set size in bytes (0 where unsupported).
+[[nodiscard]] std::uint64_t process_peak_rss_bytes();
 
 /// Executes a whole experiment grid on one shared worker pool.
 class SweepRunner {

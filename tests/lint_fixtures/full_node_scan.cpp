@@ -1,0 +1,32 @@
+// MLNT015 fixture: full-population loops in per-event PHY/MAC/net code.
+// Linted as if at src/phy/fake.cpp (see test_lint.cpp) — the rule is scoped
+// to the hot-path layers.
+#include <cstdint>
+#include <vector>
+
+struct Trx {
+  int id;
+};
+
+struct FakeChannel {
+  std::vector<Trx*> trx_;
+  std::vector<int*> mob_;
+  std::vector<int> nodes_;
+  std::uint32_t node_count() const { return 3; }
+
+  int transmit() {
+    int acc = 0;
+    for (Trx* t : trx_) acc += t->id;                              // range-for over trx_
+    for (std::uint32_t i = 0; i < node_count(); ++i) acc += i;     // index loop, node_count()
+    for (std::size_t i = 0; i < mob_.size(); ++i) acc += *mob_[i]; // index loop, mob_.size()
+    for (const int n : nodes_) acc += n;                           // range-for over nodes_
+    return acc;
+  }
+
+  int fine() {
+    int acc = 0;
+    std::vector<int> neighbors{1, 2, 3};
+    for (const int n : neighbors) acc += n;  // grid-local result: not flagged
+    return acc;
+  }
+};

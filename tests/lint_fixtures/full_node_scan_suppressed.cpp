@@ -1,0 +1,16 @@
+// MLNT015 fixture: annotated periodic whole-population work stays clean.
+#include <cstdint>
+#include <vector>
+
+struct FakeChannel {
+  std::vector<int*> mob_;
+  std::vector<int> nodes_;
+
+  int refresh_positions() {
+    int acc = 0;
+    // manet-lint: allow-node-scan - periodic 4 Hz grid refresh, not per-event
+    for (std::size_t i = 0; i < mob_.size(); ++i) acc += *mob_[i];
+    for (const int n : nodes_) acc += n;  // manet-lint: allow-node-scan - setup-time walk, runs once per build
+    return acc;
+  }
+};

@@ -171,8 +171,8 @@ TEST(LintEngine, IdentifiersContainingBannedNamesNotFlagged) {
   EXPECT_TRUE(lint_text("x.cpp", cpp).empty());
 }
 
-TEST(LintEngine, RuleTableCoversMlnt001Through014) {
-  EXPECT_EQ(manet::lint::rules().size(), 14u);
+TEST(LintEngine, RuleTableCoversMlnt001Through015) {
+  EXPECT_EQ(manet::lint::rules().size(), 15u);
 }
 
 // ---------------------------------------------------------------------------
@@ -229,6 +229,27 @@ TEST(ShardSafetyRules, ScheduleOnAllowedInKernelAndPhy) {
             0);
   EXPECT_EQ(count_rule(lint_fixture_as("foreign_schedule.cpp", "src/phy/fake.cpp"), "MLNT013"),
             0);
+}
+
+TEST(ShardSafetyRules, FullNodeScanFlaggedInHotPathLayers) {
+  const auto fs = lint_fixture_as("full_node_scan.cpp", "src/phy/fake.cpp");
+  EXPECT_EQ(count_rule(fs, "MLNT015"), 4)
+      << "two range-fors (trx_, nodes_) and two index loops (node_count, mob_.size)";
+  EXPECT_EQ(count_rule(lint_fixture_as("full_node_scan.cpp", "src/mac/fake.cpp"), "MLNT015"), 4);
+  EXPECT_EQ(count_rule(lint_fixture_as("full_node_scan.cpp", "src/net/fake.cpp"), "MLNT015"), 4);
+}
+
+TEST(ShardSafetyRules, FullNodeScanSuppressedByRationale) {
+  EXPECT_TRUE(
+      lint_fixture_as("full_node_scan_suppressed.cpp", "src/phy/fake.cpp").empty());
+}
+
+TEST(ShardSafetyRules, FullNodeScanIgnoredOutsideHotPathLayers) {
+  // Scenario setup and tools legitimately walk every node; the rule scopes
+  // to the per-event layers only.
+  EXPECT_EQ(
+      count_rule(lint_fixture_as("full_node_scan.cpp", "src/scenario/fake.cpp"), "MLNT015"), 0);
+  EXPECT_EQ(count_rule(lint_fixture_as("full_node_scan.cpp", "tools/fake.cpp"), "MLNT015"), 0);
 }
 
 TEST(ShardSafetyRules, MissingRestartOverrideFlagged) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/simulator.hpp"
+#include "mobility/mobility_pool.hpp"
 #include "mobility/static_mobility.hpp"
 #include "net/node.hpp"
 #include "phy/channel.hpp"
@@ -30,11 +31,10 @@ class TestNet {
           Area area = {2500.0, 2500.0}) {
     channel_ = std::make_unique<Channel>(sim_, phy, area);
     for (std::size_t i = 0; i < positions.size(); ++i) {
-      auto mob = std::make_unique<StaticMobility>(positions[i]);
-      mobilities_.push_back(mob.get());
+      StaticMobility* mob = pool_.make<StaticMobility>(positions[i]);
+      mobilities_.push_back(mob);
       nodes_.push_back(std::make_unique<Node>(sim_, stats_, *channel_,
-                                              static_cast<NodeId>(i), std::move(mob), mac,
-                                              seed));
+                                              static_cast<NodeId>(i), mob, mac, seed));
     }
     for (auto& n : nodes_) {
       protocols_.push_back(factory(*n, seed));
@@ -67,6 +67,7 @@ class TestNet {
  private:
   Simulator sim_;
   StatsCollector stats_;
+  MobilityPool pool_;  ///< before channel_/nodes_: they point into it
   std::unique_ptr<Channel> channel_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<RoutingProtocol>> protocols_;

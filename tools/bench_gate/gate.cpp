@@ -271,6 +271,7 @@ bool extract_baseline(const Value& root, std::vector<Entry>& out, std::string& e
     e.name = name->str;
     if (const Value* eps = v.find("events_per_sec")) e.events_per_sec = eps->num_or(0.0);
     if (const Value* w = v.find("wall_s")) e.wall_s = w->num_or(0.0);
+    if (const Value* b = v.find("bytes_per_node")) e.bytes_per_node = b->num_or(0.0);
     out.push_back(std::move(e));
   }
   return true;
@@ -299,6 +300,7 @@ bool extract_sweep(const Value& root, std::vector<Entry>& out, std::string& err)
     e.name = name->str + "/" + label->str;
     if (const Value* eps = profile->find("events_per_sec")) e.events_per_sec = eps->num_or(0.0);
     if (const Value* w = profile->find("wall_s")) e.wall_s = w->num_or(0.0);
+    if (const Value* b = profile->find("bytes_per_node")) e.bytes_per_node = b->num_or(0.0);
     out.push_back(std::move(e));
   }
   return true;
@@ -342,7 +344,9 @@ void usage(std::FILE* to) {
                "  record        merge inputs into a baseline file\n"
                "  check         fail (exit 1) when any baseline entry regresses its\n"
                "                events/sec by more than --max-regress (default 0.25),\n"
-               "                or is missing from the fresh inputs\n"
+               "                grows its bytes_per_node (peak RSS / N, when both\n"
+               "                sides measured it) past the same threshold, or is\n"
+               "                missing from the fresh inputs\n"
                "  --strict-wall also gate wall_s (off by default: wall-clock does\n"
                "                not transfer across machines)\n");
 }
@@ -383,8 +387,9 @@ std::string to_baseline_json(const std::vector<Entry>& entries) {
     const Entry& e = entries[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"";
     json_escape(os, e.name);
-    os << "\", \"events_per_sec\": " << e.events_per_sec << ", \"wall_s\": " << e.wall_s
-       << '}';
+    os << "\", \"events_per_sec\": " << e.events_per_sec << ", \"wall_s\": " << e.wall_s;
+    if (e.bytes_per_node > 0.0) os << ", \"bytes_per_node\": " << e.bytes_per_node;
+    os << '}';
   }
   os << "\n  ]\n}\n";
   return os.str();
@@ -419,6 +424,20 @@ CheckResult check(const std::vector<Entry>& baseline, const std::vector<Entry>& 
       if (delta < -opts.max_regress) {
         bad = true;
         r.failures.push_back(base.name + ": events/sec regressed " + detail);
+      }
+    }
+    // Memory-per-node gates upward: more bytes per node is the regression.
+    // Gated only when both sides measured it, so baselines that predate the
+    // metric (and non-scale entries) stay comparable.
+    if (base.bytes_per_node > 0.0 && now.bytes_per_node > 0.0) {
+      const double delta = now.bytes_per_node / base.bytes_per_node - 1.0;
+      char mem[96];
+      std::snprintf(mem, sizeof mem, "  %.0f -> %.0f B/node (%+.1f%%)", base.bytes_per_node,
+                    now.bytes_per_node, delta * 100.0);
+      detail += mem;
+      if (delta > opts.max_regress) {
+        bad = true;
+        r.failures.push_back(base.name + ": bytes/node regressed" + std::string(mem));
       }
     }
     if (opts.strict_wall && base.wall_s > 0.0 && now.wall_s > 0.0) {

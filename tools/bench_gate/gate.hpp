@@ -14,8 +14,11 @@
 //   * its own baseline files (the `record` output)
 //
 // Comparison policy: events/sec gates (machine-comparable rate of fixed,
-// deterministic work); wall-clock is reported and only gates under
-// --strict-wall, because absolute seconds do not transfer across machines.
+// deterministic work); memory-per-node (bytes_per_node, the scale sweep's
+// peak-RSS/N metric) gates in the opposite direction — growth past the
+// threshold fails — whenever both baseline and fresh entries carry it;
+// wall-clock is reported and only gates under --strict-wall, because
+// absolute seconds do not transfer across machines.
 #pragma once
 
 #include <string>
@@ -27,7 +30,8 @@ namespace manet::gate {
 struct Entry {
   std::string name;
   double events_per_sec = 0.0;
-  double wall_s = 0.0;  ///< 0 = not measured (e.g. google-benchmark inputs)
+  double wall_s = 0.0;          ///< 0 = not measured (e.g. google-benchmark inputs)
+  double bytes_per_node = 0.0;  ///< peak RSS / N; 0 = not measured, not gated
 };
 
 /// Parse `text` (any of the three supported JSON shapes) into entries.
@@ -39,7 +43,8 @@ struct Entry {
 [[nodiscard]] std::string to_baseline_json(const std::vector<Entry>& entries);
 
 struct CheckOptions {
-  double max_regress = 0.25;  ///< fail when fresh is >25% below baseline
+  double max_regress = 0.25;  ///< fail when fresh events/sec is >25% below
+                              ///< baseline, or bytes_per_node >25% above it
   bool strict_wall = false;   ///< also fail on wall-clock regressions
 };
 

@@ -43,6 +43,8 @@ const std::vector<RuleInfo> kRules = {
      "scheduling into a foreign node/shard context outside the CrossShardQueue path"},
     {"MLNT014", "missing-restart-override", "allow-no-restart",
      "RoutingProtocol subclass lacks an on_node_restart() cold-restart override"},
+    {"MLNT015", "full-node-scan", "allow-node-scan",
+     "iterating every node in PHY/MAC/net code defeats grid-local candidate selection"},
 };
 
 [[nodiscard]] const RuleInfo* rule_by_id(std::string_view id) {
@@ -316,6 +318,26 @@ struct LineView {
   while (close < code.size() && code[close] == ' ') ++close;
   if (close >= code.size() || code[close] != ')') return {};
   return code.substr(a, e - a);
+}
+
+/// A loop over every node (MLNT015): a range-for whose target is one of the
+/// all-nodes containers, or an index loop bounded by their size. The
+/// container names are the simulator's own (`nodes_` in the scenario/net
+/// layers, `trx_`/`mob_` in the channel); per-event code must go through
+/// GridIndex::query / neighbors_of instead, so any surviving full scan is
+/// either a bug or a deliberately-annotated periodic path (grid refresh).
+[[nodiscard]] bool has_full_node_scan(const std::string& code) {
+  static constexpr std::string_view kContainers[] = {"nodes_", "trx_", "mob_"};
+  const std::string target = range_for_target(code);
+  for (const std::string_view c : kContainers) {
+    if (target == c) return true;
+  }
+  if (!has_word(code, "for")) return false;
+  if (code.find("node_count()") != std::string::npos) return true;
+  for (const std::string_view c : kContainers) {
+    if (code.find(std::string(c) + ".size()") != std::string::npos) return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -799,6 +821,11 @@ void check(const std::string& path, const std::vector<LineView>& lines,
                           in_path(path, "src/net/");
   const bool mlnt012_applies = node_layer || in_path(path, "src/scenario/");
   const bool mlnt013_member = !in_path(path, "src/core/") && !in_path(path, "src/phy/");
+  // MLNT015 polices the per-event layers: PHY (channel candidate selection),
+  // MAC and net. Scenario/tools may still walk every node — setup and
+  // reporting are not hot paths.
+  const bool mlnt015_applies =
+      in_path(path, "src/phy/") || in_path(path, "src/mac/") || in_path(path, "src/net/");
 
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& code = lines[i].code;
@@ -883,6 +910,13 @@ void check(const std::string& path, const std::vector<LineView>& lines,
           "direct access to another node's state (`nodes_[...]`/`.node(...)`) bypasses the "
           "shard-safe delivery path; route through Channel/CrossShardQueue, or annotate "
           "`// manet-lint: cross-shard-audited - <why it is shard-safe>`");
+    }
+    if (mlnt015_applies && has_full_node_scan(code)) {
+      add("MLNT015", n,
+          "loop over every node in per-event code: O(N) per transmission/tick is what caps "
+          "city-scale runs. Use GridIndex::query / Channel::neighbors_of for grid-local "
+          "candidates; genuinely periodic whole-population work (position refresh) carries "
+          "`// manet-lint: allow-node-scan - <why this is not per-event>`");
     }
     if (mlnt013_member && has_member_call(code, "schedule_on")) {
       add("MLNT013", n,
