@@ -1,0 +1,106 @@
+#pragma once
+
+// Declarative scenario specs: the JSON front end of the experiment layer.
+//
+// A scenario file describes one experiment — a base configuration plus an
+// optional (protocol × axis) sweep — in data instead of C++. The loader
+// expands it into the same labeled SweepCell grid the benches build through
+// ScenarioBuilder, so a spec run and its C++ twin produce byte-identical
+// per-seed results (same labels, same configs, same seeds).
+//
+// Schema (all keys optional unless noted; unknown keys are errors):
+//
+//   {
+//     "name": "fig_pause_throughput",        // required; keys results/<name>.*
+//     "description": "free text",
+//     "seeds": 10,                            // replications per cell
+//     "output": {"dir": "results"},
+//     "base": {                               // defaults = Table I
+//       "protocol": "AODV", "seed": 1, "nodes": 40, "area_m": [1500, 300],
+//       "static": false, "duration_s": 150, "shards": 0,
+//       "measure_connectivity": true, "trace": "path.tr",
+//       "mobility": {"model": "waypoint|walk|gauss-markov|manhattan",
+//                    "v_min_mps": 0.1, "v_max_mps": 20, "pause_s": 0,
+//                    "warmup_s": 1000, "block_m": 200, "p_turn": 0.5},
+//       "traffic": {"kind": "cbr|onoff", "connections": 10,
+//                   "payload_bytes": 512, "rate_pps": 4, "interval_ms": 250,
+//                   "start_s": 10, "start_window_s": 10,
+//                   "burst_mean_s": 5, "idle_mean_s": 5},
+//       "radio": {"data_rate_bps": 2e6, "rx_range_m": 250, "cs_range_m": 550,
+//                 "frame_loss_rate": 0},
+//       "mac": {"use_rts": true, "rts_threshold_bytes": 0, "ifq_capacity": 50},
+//       "urban": {"street_width_m": 20, "nlos_range_m": 75, "nlos_loss": 0.1},
+//       "fault": {"crash_rate": 1, "downtime_mean_s": 20, "link_blackouts": 0,
+//                 "blackout_mean_s": 5, "corrupt_rate": 0, "corrupt_from_s": 0,
+//                 "corrupt_until_s": 0, "partition": false,
+//                 "partition_frac": 0.5, "partition_from_s": 0,
+//                 "partition_until_s": 0, "window_from_s": 10}
+//     },
+//     "sweep": {
+//       "protocols": ["AODV", "DSR", "CBRP"],  // default: base protocol only
+//       "axes": [{"param": "pause", "values": [0, 30, 60, 120]}],
+//       "cells": [{"label": "extra", "set": { ...base keys... }}]
+//     }
+//   }
+//
+// Axis params (labels follow the bench convention "PROTO/param:value"):
+//   pause    pause time, seconds                     (>= 0)
+//   vmax     node max speed, m/s; <= 0 means static  (mobility suite)
+//   nodes    node count                              (integer >= 2)
+//   sources  CBR connection count                    (integer >= 0)
+//   crash    expected crash/restart cycles per node  (>= 0)
+//   loss     per-frame loss probability              ([0, 1))
+// An axis may instead set "family": "urban" — each value is then a node
+// count fed through the urban Manhattan family (urban_scenario():
+// constant-density city, street-canyon shadowing), and "param" only names
+// the label segment (fig_scale uses "n").
+//
+// Validation never aborts: the loader mirrors every ScenarioBuilder::build()
+// contract itself and reports violations as Errors carrying the 1-based
+// source line of the offending value, so `manetsim validate` can render
+// compiler-style "file:line: key: message" diagnostics. Only after a spec is
+// clean does the loader run each cell through ScenarioBuilder::from(...)
+// .build() as a belt-and-braces check that the mirror and the builder agree.
+
+#include <string>
+#include <vector>
+
+#include "scenario/sweep.hpp"
+
+namespace manet::spec {
+
+/// One validation (or parse/IO) diagnostic.
+struct Error {
+  int line = 0;         ///< 1-based source line; 0 = file-level
+  std::string key;      ///< dotted path of the offending key ("base.nodes")
+  std::string message;  ///< what is wrong, naming the offending value
+};
+
+/// Render as "file:line: key: message" (compiler-style, greppable in CI).
+[[nodiscard]] std::string to_string(const Error& e, const std::string& filename);
+
+/// A loaded scenario file: header + the expanded, validated cell grid.
+struct ScenarioSpec {
+  std::string name;         ///< artifact key: <out_dir>/<name>.{json,csv}
+  std::string description;
+  int seeds = 1;            ///< replications per cell
+  std::string out_dir = "results";
+  std::string filename;     ///< as passed to load_file / load_string
+  std::vector<SweepCell> cells;  ///< valid only when ok()
+  std::vector<Error> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  /// Every error rendered via to_string(), one per line.
+  [[nodiscard]] std::string error_report() const;
+};
+
+/// Parse + validate `text`. Collects every diagnostic it can rather than
+/// stopping at the first (a parse failure is necessarily terminal).
+[[nodiscard]] ScenarioSpec load_string(const std::string& text,
+                                       const std::string& filename = "<inline>");
+
+/// Slurp `path` and load_string() it; unreadable files come back as a
+/// file-level Error.
+[[nodiscard]] ScenarioSpec load_file(const std::string& path);
+
+}  // namespace manet::spec

@@ -12,6 +12,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "common/json.hpp"
 #include "core/assert.hpp"
 
 namespace manet {
@@ -26,25 +27,6 @@ using Clock = std::chrono::steady_clock;
 [[nodiscard]] double elapsed_s(Clock::time_point t0) {
   // manet-lint: allow-wall-clock - profiling artifact data, never sim input
   return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-void json_escape(std::ostream& os, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
 }
 
 /// CSV fields are labels like "AODV/pause:30" — quote only when needed.
@@ -101,7 +83,7 @@ std::string SweepResult::to_json() const {
   std::ostringstream os;
   os.precision(10);
   os << "{\n  \"name\": \"";
-  json_escape(os, name);
+  json::escape(os, name);
   os << "\",\n  \"schema\": 1,\n"
      << "  \"seeds_per_cell\": " << seeds_per_cell << ",\n"
      << "  \"threads\": " << threads << ",\n"
@@ -114,7 +96,7 @@ std::string SweepResult::to_json() const {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const SweepCellResult& c = cells[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\"label\": \"";
-    json_escape(os, c.label);
+    json::escape(os, c.label);
     os << "\", \"replications\": " << c.aggregate.replications
        << ", \"total_events\": " << c.aggregate.total_events << ",\n     \"metrics\": {";
     bool first = true;
@@ -166,13 +148,13 @@ std::string SweepResult::to_baseline_json() const {
   os.precision(10);
   os << "{\n  \"schema\": 1,\n  \"entries\": [\n";
   os << "    {\"name\": \"";
-  json_escape(os, name);
+  json::escape(os, name);
   os << "\", \"events_per_sec\": " << events_per_sec << ", \"wall_s\": " << wall_s << '}';
   for (const SweepCellResult& c : cells) {
     os << ",\n    {\"name\": \"";
-    json_escape(os, name);
+    json::escape(os, name);
     os << '/';
-    json_escape(os, c.label);
+    json::escape(os, c.label);
     os << "\", \"events_per_sec\": " << c.events_per_sec << ", \"wall_s\": " << c.wall_s;
     // bench_gate gates memory only when baseline AND fresh both carry the
     // field, so pre-existing baselines without it keep passing unchanged.

@@ -1,0 +1,485 @@
+// Scenario spec loader: the declarative DSL must expand to exactly the cell
+// grids the benches build through ScenarioBuilder (same labels, same configs
+// — which makes the runs byte-identical, since a run is a pure function of
+// (config, seed)), and every schema violation must come back as a
+// line-anchored Error instead of the builder's contract abort.
+
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "scenario/builder.hpp"
+#include "scenario/scenario.hpp"
+
+namespace manet {
+namespace {
+
+spec::ScenarioSpec load(const std::string& text) { return spec::load_string(text, "test.json"); }
+
+/// True when some error mentions `needle` (in the key or the message).
+bool has_error(const spec::ScenarioSpec& s, const std::string& needle) {
+  for (const spec::Error& e : s.errors) {
+    if (e.key.find(needle) != std::string::npos || e.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Every config field the simulation reads, as one exact-match string.
+/// Two configs with equal fingerprints produce byte-identical runs.
+std::string fingerprint(const ScenarioConfig& c) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "proto=%d seed=%llu n=%u area=%g,%g static=%d mob=%d v=%g,%g pause=%lld warmup=%lld "
+      "man_block=%g man_pturn=%g conn=%u payload=%zu traffic=%d cbr=%lld start=%lld "
+      "startw=%lld burst=%lld idle=%lld dur=%lld shards=%u conn_meas=%d trace=%s "
+      "phy=%g,%g,%g,%g urban=%g,%g,%g mac_rts=%d,%zu,%zu "
+      "fault=%g,%lld,%d,%lld,%g,%lld,%lld,%d,%g,%lld,%lld,%lld",
+      static_cast<int>(c.protocol), static_cast<unsigned long long>(c.seed), c.num_nodes,
+      c.area.width, c.area.height, c.static_nodes ? 1 : 0, static_cast<int>(c.mobility), c.v_min,
+      c.v_max, static_cast<long long>(c.pause.ns()),
+      static_cast<long long>(c.mobility_warmup.ns()), c.manhattan.block, c.manhattan.p_turn,
+      c.num_connections, c.payload_bytes, static_cast<int>(c.traffic),
+      static_cast<long long>(c.cbr_interval.ns()), static_cast<long long>(c.cbr_start.ns()),
+      static_cast<long long>(c.cbr_start_window.ns()),
+      static_cast<long long>(c.onoff_burst_mean.ns()),
+      static_cast<long long>(c.onoff_idle_mean.ns()), static_cast<long long>(c.duration.ns()),
+      c.shards, c.measure_connectivity ? 1 : 0, c.trace_path.c_str(), c.phy.data_rate_bps,
+      c.phy.rx_range_m, c.phy.cs_range_m, c.phy.frame_loss_rate, c.phy.street_width_m,
+      c.phy.nlos_rx_range_m, c.phy.nlos_loss_rate, c.mac.use_rts ? 1 : 0, c.mac.rts_threshold,
+      c.mac.ifq_capacity, c.fault.crash_rate, static_cast<long long>(c.fault.downtime_mean.ns()),
+      c.fault.link_blackouts, static_cast<long long>(c.fault.blackout_mean.ns()),
+      c.fault.corrupt_rate, static_cast<long long>(c.fault.corrupt_from.ns()),
+      static_cast<long long>(c.fault.corrupt_until.ns()), c.fault.partition ? 1 : 0,
+      c.fault.partition_frac, static_cast<long long>(c.fault.partition_from.ns()),
+      static_cast<long long>(c.fault.partition_until.ns()),
+      static_cast<long long>(c.fault.window_from.ns()));
+  return buf;
+}
+
+// -- happy path --------------------------------------------------------------
+
+TEST(SpecLoader, MinimalSpecYieldsOneTableOneCell) {
+  const auto s = load(R"({"name": "mini"})");
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  EXPECT_EQ(s.name, "mini");
+  EXPECT_EQ(s.seeds, 1);
+  EXPECT_EQ(s.out_dir, "results");
+  ASSERT_EQ(s.cells.size(), 1u);
+  EXPECT_EQ(s.cells[0].label, "AODV");
+  EXPECT_EQ(fingerprint(s.cells[0].config), fingerprint(ScenarioBuilder().build()));
+}
+
+TEST(SpecLoader, FullSchemaRoundTrip) {
+  const auto s = load(R"({
+    "name": "full",
+    "description": "all keys",
+    "seeds": 7,
+    "output": {"dir": "out"},
+    "base": {
+      "protocol": "olsr",
+      "seed": 42,
+      "nodes": 25,
+      "area_m": [800, 600],
+      "static": false,
+      "duration_s": 90,
+      "shards": 2,
+      "measure_connectivity": false,
+      "trace": "t.tr",
+      "mobility": {"model": "manhattan", "v_min_mps": 1, "v_max_mps": 12,
+                   "pause_s": 5, "warmup_s": 500, "block_m": 100, "p_turn": 0.25},
+      "traffic": {"kind": "onoff", "connections": 6, "payload_bytes": 256,
+                  "interval_ms": 125, "start_s": 5, "start_window_s": 2,
+                  "burst_mean_s": 3, "idle_mean_s": 4},
+      "radio": {"data_rate_bps": 1e6, "rx_range_m": 200, "cs_range_m": 440,
+                "frame_loss_rate": 0.05},
+      "mac": {"use_rts": false, "rts_threshold_bytes": 128, "ifq_capacity": 20},
+      "urban": {"street_width_m": 15, "nlos_range_m": 60, "nlos_loss": 0.2},
+      "fault": {"crash_rate": 0.5, "downtime_mean_s": 8, "link_blackouts": 3,
+                "blackout_mean_s": 2, "corrupt_rate": 0.1, "corrupt_from_s": 20,
+                "corrupt_until_s": 40, "partition": true, "partition_frac": 0.4,
+                "partition_from_s": 30, "partition_until_s": 50, "window_from_s": 15}
+    }
+  })");
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  EXPECT_EQ(s.seeds, 7);
+  EXPECT_EQ(s.out_dir, "out");
+  ASSERT_EQ(s.cells.size(), 1u);
+  EXPECT_EQ(s.cells[0].label, "OLSR");  // canonical registry name, not "olsr"
+  const ScenarioConfig& c = s.cells[0].config;
+  EXPECT_EQ(c.protocol, Protocol::kOlsr);
+  EXPECT_EQ(c.seed, 42u);
+  EXPECT_EQ(c.num_nodes, 25u);
+  EXPECT_EQ(c.area.width, 800.0);
+  EXPECT_EQ(c.area.height, 600.0);
+  EXPECT_EQ(c.mobility, MobilityKind::kManhattan);
+  EXPECT_EQ(c.v_min, 1.0);
+  EXPECT_EQ(c.v_max, 12.0);
+  EXPECT_EQ(c.pause, seconds(5));
+  EXPECT_EQ(c.mobility_warmup, seconds(500));
+  EXPECT_EQ(c.manhattan.block, 100.0);
+  EXPECT_EQ(c.manhattan.p_turn, 0.25);
+  EXPECT_EQ(c.traffic, TrafficKind::kOnOff);
+  EXPECT_EQ(c.num_connections, 6u);
+  EXPECT_EQ(c.payload_bytes, 256u);
+  EXPECT_EQ(c.cbr_interval, milliseconds(125));
+  EXPECT_EQ(c.cbr_start, seconds(5));
+  EXPECT_EQ(c.cbr_start_window, seconds(2));
+  EXPECT_EQ(c.onoff_burst_mean, seconds(3));
+  EXPECT_EQ(c.onoff_idle_mean, seconds(4));
+  EXPECT_EQ(c.duration, seconds(90));
+  EXPECT_EQ(c.shards, 2u);
+  EXPECT_FALSE(c.measure_connectivity);
+  EXPECT_EQ(c.trace_path, "t.tr");
+  EXPECT_EQ(c.phy.data_rate_bps, 1e6);
+  EXPECT_EQ(c.phy.rx_range_m, 200.0);
+  EXPECT_EQ(c.phy.cs_range_m, 440.0);
+  EXPECT_EQ(c.phy.frame_loss_rate, 0.05);
+  EXPECT_EQ(c.phy.street_width_m, 15.0);
+  EXPECT_EQ(c.phy.nlos_rx_range_m, 60.0);
+  EXPECT_EQ(c.phy.nlos_loss_rate, 0.2);
+  EXPECT_FALSE(c.mac.use_rts);
+  EXPECT_EQ(c.mac.rts_threshold, 128u);
+  EXPECT_EQ(c.mac.ifq_capacity, 20u);
+  EXPECT_EQ(c.fault.crash_rate, 0.5);
+  EXPECT_EQ(c.fault.downtime_mean, seconds(8));
+  EXPECT_EQ(c.fault.link_blackouts, 3);
+  EXPECT_EQ(c.fault.corrupt_rate, 0.1);
+  EXPECT_TRUE(c.fault.partition);
+  EXPECT_EQ(c.fault.window_from, seconds(15));
+}
+
+TEST(SpecLoader, RatePpsIsIntervalReciprocal) {
+  const auto s = load(
+      R"({"name": "r", "base": {"traffic": {"rate_pps": 4}}})");
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  EXPECT_EQ(s.cells[0].config.cbr_interval, milliseconds(250));
+}
+
+// -- sweep expansion ---------------------------------------------------------
+
+TEST(SpecLoader, SweepExpandsProtocolMajorWithBenchLabels) {
+  const auto s = load(R"({
+    "name": "sweep",
+    "sweep": {
+      "protocols": ["AODV", "DSR"],
+      "axes": [{"param": "pause", "values": [0, 30]}]
+    }
+  })");
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  ASSERT_EQ(s.cells.size(), 4u);
+  EXPECT_EQ(s.cells[0].label, "AODV/pause:0");
+  EXPECT_EQ(s.cells[1].label, "AODV/pause:30");
+  EXPECT_EQ(s.cells[2].label, "DSR/pause:0");
+  EXPECT_EQ(s.cells[3].label, "DSR/pause:30");
+  EXPECT_EQ(s.cells[1].config.pause, seconds(30));
+  EXPECT_EQ(s.cells[2].config.protocol, Protocol::kDsr);
+}
+
+TEST(SpecLoader, VmaxZeroMeansStatic) {
+  const auto s = load(R"({
+    "name": "mob", "sweep": {"axes": [{"param": "vmax", "values": [0, 5]}]}
+  })");
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  ASSERT_EQ(s.cells.size(), 2u);
+  EXPECT_EQ(s.cells[0].label, "AODV/vmax:0");
+  EXPECT_TRUE(s.cells[0].config.static_nodes);
+  EXPECT_FALSE(s.cells[1].config.static_nodes);
+  EXPECT_EQ(s.cells[1].config.v_max, 5.0);
+}
+
+TEST(SpecLoader, ExplicitCellsOverrideBase) {
+  const auto s = load(R"({
+    "name": "cells",
+    "base": {"nodes": 20},
+    "sweep": {"cells": [
+      {"label": "small", "set": {"nodes": 10}},
+      {"label": "big", "set": {"nodes": 80}}
+    ]}
+  })");
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  ASSERT_EQ(s.cells.size(), 2u);
+  EXPECT_EQ(s.cells[0].label, "small");
+  EXPECT_EQ(s.cells[0].config.num_nodes, 10u);
+  EXPECT_EQ(s.cells[1].config.num_nodes, 80u);
+}
+
+// -- error paths -------------------------------------------------------------
+// Every kind of schema violation must surface as a line-anchored Error; none
+// may reach the builder's aborting contracts.
+
+TEST(SpecErrors, MissingName) {
+  const auto s = load(R"({"base": {}})");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "name"));
+  EXPECT_TRUE(has_error(s, "required key is missing"));
+}
+
+TEST(SpecErrors, UnknownKeysAtEveryLevel) {
+  const auto s = load(R"({
+    "name": "u",
+    "typo_top": 1,
+    "base": {"typo_base": 2, "mobility": {"typo_mob": 3}}
+  })");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "typo_top"));
+  EXPECT_TRUE(has_error(s, "base.typo_base"));
+  EXPECT_TRUE(has_error(s, "base.mobility.typo_mob"));
+  EXPECT_TRUE(has_error(s, "unknown key"));
+}
+
+TEST(SpecErrors, WrongTypes) {
+  const auto s = load(R"({
+    "name": "t",
+    "base": {"nodes": "forty", "static": 1, "mobility": [1, 2]}
+  })");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "expected number, got string"));
+  EXPECT_TRUE(has_error(s, "expected bool, got number"));
+  EXPECT_TRUE(has_error(s, "expected object, got array"));
+}
+
+TEST(SpecErrors, OutOfRangeValues) {
+  const auto s = load(R"({
+    "name": "r",
+    "base": {
+      "nodes": 1,
+      "shards": 99,
+      "duration_s": -5,
+      "radio": {"frame_loss_rate": 1.0},
+      "mobility": {"pause_s": -1},
+      "fault": {"corrupt_rate": 1.5}
+    }
+  })");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "base.nodes"));
+  EXPECT_TRUE(has_error(s, "base.shards"));
+  EXPECT_TRUE(has_error(s, "base.duration_s"));
+  EXPECT_TRUE(has_error(s, "base.radio.frame_loss_rate"));
+  EXPECT_TRUE(has_error(s, "base.mobility.pause_s"));
+  EXPECT_TRUE(has_error(s, "base.fault.corrupt_rate"));
+}
+
+TEST(SpecErrors, NonIntegerWhereIntegerRequired) {
+  const auto s = load(R"({"name": "i", "base": {"nodes": 12.5}})");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "must be an integer"));
+}
+
+TEST(SpecErrors, UnknownProtocolListsRegistry) {
+  const auto s = load(R"({"name": "p", "base": {"protocol": "XYZ"}})");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "unknown protocol \"XYZ\""));
+  EXPECT_TRUE(has_error(s, "AODV"));  // the message names the registered set
+  const auto s2 = load(R"({"name": "p2", "sweep": {"protocols": ["AODV", "NOPE"]}})");
+  ASSERT_FALSE(s2.ok());
+  EXPECT_TRUE(has_error(s2, "sweep.protocols[1]"));
+}
+
+TEST(SpecErrors, UnknownMobilityModelAndTrafficKind) {
+  const auto s = load(R"({
+    "name": "m",
+    "base": {"mobility": {"model": "teleport"}, "traffic": {"kind": "tcp"}}
+  })");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "unknown mobility model \"teleport\""));
+  EXPECT_TRUE(has_error(s, "unknown traffic kind \"tcp\""));
+}
+
+TEST(SpecErrors, RateAndIntervalAreExclusive) {
+  const auto s = load(
+      R"({"name": "x", "base": {"traffic": {"rate_pps": 4, "interval_ms": 250}}})");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "mutually exclusive"));
+}
+
+TEST(SpecErrors, CrossFieldContracts) {
+  const auto s = load(R"({
+    "name": "c",
+    "base": {"mobility": {"v_min_mps": 9, "v_max_mps": 3}}
+  })");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "v_min <= v_max"));
+
+  const auto s2 = load(R"({
+    "name": "c2", "base": {"duration_s": 5, "traffic": {"start_s": 10}}
+  })");
+  ASSERT_FALSE(s2.ok());
+  EXPECT_TRUE(has_error(s2, "after the run ends"));
+
+  const auto s3 = load(R"({
+    "name": "c3",
+    "base": {"urban": {"street_width_m": 20, "nlos_range_m": 400}}
+  })");
+  ASSERT_FALSE(s3.ok());
+  EXPECT_TRUE(has_error(s3, "nlos_rx_range_m"));
+
+  const auto s4 = load(R"({
+    "name": "c4",
+    "base": {"duration_s": 30, "fault": {"crash_rate": 1, "window_from_s": 60}}
+  })");
+  ASSERT_FALSE(s4.ok());
+  EXPECT_TRUE(has_error(s4, "fault window opens"));
+}
+
+TEST(SpecErrors, SweepShapeErrors) {
+  const auto s = load(R"({
+    "name": "s",
+    "sweep": {"axes": [{"param": "bogus", "values": [1]}]}
+  })");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "unknown sweep param \"bogus\""));
+
+  const auto s2 = load(R"({
+    "name": "s2",
+    "sweep": {"cells": [{"label": "dup"}, {"label": "dup"}]}
+  })");
+  ASSERT_FALSE(s2.ok());
+  EXPECT_TRUE(has_error(s2, "duplicate cell label \"dup\""));
+
+  const auto s3 = load(R"({
+    "name": "s3", "sweep": {"axes": [{"param": "pause"}]}
+  })");
+  ASSERT_FALSE(s3.ok());
+  EXPECT_TRUE(has_error(s3, "values"));
+}
+
+TEST(SpecErrors, ParseErrorCarriesLine) {
+  const auto s = load("{\n  \"name\": \"x\",\n  oops\n}");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "JSON parse error"));
+  EXPECT_TRUE(has_error(s, "line 3"));
+}
+
+TEST(SpecErrors, SemanticErrorsPointAtTheValueLine) {
+  const auto s = load("{\n\"name\": \"x\",\n\"base\": {\n  \"nodes\": 1\n}\n}");
+  ASSERT_FALSE(s.ok());
+  ASSERT_EQ(s.errors.size(), 1u);
+  EXPECT_EQ(s.errors[0].line, 4);  // the line "nodes": 1 sits on
+  EXPECT_EQ(s.errors[0].key, "base.nodes");
+  EXPECT_EQ(spec::to_string(s.errors[0], "f.json"), "f.json:4: base.nodes: must be >= 2, got 1");
+}
+
+TEST(SpecErrors, MissingFileIsAnError) {
+  const auto s = spec::load_file("/nonexistent/path/spec.json");
+  ASSERT_FALSE(s.ok());
+}
+
+// -- DSL == ScenarioBuilder twins --------------------------------------------
+// The shipped scenario files must expand to exactly the configs their C++
+// bench twins build. Config fingerprints equal => per-seed runs are
+// byte-identical (a run is a pure function of (config, seed)).
+
+std::string scenario_path(const char* file) {
+  return std::string(MANET_SCENARIOS_DIR) + "/" + file;
+}
+
+TEST(SpecTwins, PauseSweepMatchesBenchPauseCell) {
+  const auto s = spec::load_file(scenario_path("fig_pause_throughput.json"));
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  const Protocol trio[] = {Protocol::kAodv, Protocol::kDsr, Protocol::kCbrp};
+  const double pauses[] = {0, 30, 60, 120};
+  ASSERT_EQ(s.cells.size(), 12u);
+  std::size_t i = 0;
+  for (const Protocol p : trio) {
+    for (const double pause_s : pauses) {
+      // bench::pause_cell from bench_common.hpp, inlined.
+      const ScenarioConfig twin = ScenarioBuilder()
+                                      .protocol(p)
+                                      .seed(1)
+                                      .nodes(40)
+                                      .area(1500.0, 300.0)
+                                      .speed(0.1, 20.0)
+                                      .pause(seconds_f(pause_s))
+                                      .build();
+      EXPECT_EQ(fingerprint(s.cells[i].config), fingerprint(twin)) << s.cells[i].label;
+      ++i;
+    }
+  }
+}
+
+TEST(SpecTwins, FaultSweepMatchesBenchFaultCell) {
+  const auto s = spec::load_file(scenario_path("fig_fault_pdr.json"));
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  ASSERT_EQ(s.cells.size(), 21u);
+  std::size_t i = 0;
+  for (const Protocol p : kAllProtocols) {
+    for (const double crash : {0.0, 1.0, 2.0}) {
+      // bench::fault_cell from bench_common.hpp, inlined.
+      FaultConfig fault;
+      fault.crash_rate = crash;
+      fault.downtime_mean = seconds(20);
+      fault.window_from = seconds(20);
+      const ScenarioConfig twin =
+          ScenarioBuilder().protocol(p).seed(1).nodes(30).speed(0.1, 5.0).fault(fault).build();
+      EXPECT_EQ(fingerprint(s.cells[i].config), fingerprint(twin)) << s.cells[i].label;
+      ++i;
+    }
+  }
+}
+
+TEST(SpecTwins, UrbanFamilyMatchesUrbanScenario) {
+  const auto s = spec::load_file(scenario_path("urban_city.json"));
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  ASSERT_EQ(s.cells.size(), 4u);
+  std::size_t i = 0;
+  for (const Protocol p : {Protocol::kAodv, Protocol::kDsr}) {
+    for (const std::uint32_t n : {40u, 200u}) {
+      const ScenarioConfig twin = urban_scenario(n).protocol(p).seed(1).build();
+      EXPECT_EQ(fingerprint(s.cells[i].config), fingerprint(twin)) << s.cells[i].label;
+      ++i;
+    }
+  }
+}
+
+// One run per protocol: a DSL-expanded cell and its hand-built builder twin
+// must produce the same results to the last event counter (golden pin for
+// the whole spec -> config -> run pipeline; SLOW tier).
+TEST(SpecTwins, RunPerProtocolIsByteIdentical) {
+  const auto s = load(R"({
+    "name": "golden",
+    "base": {
+      "seed": 1, "nodes": 14, "area_m": [650, 650], "duration_s": 25,
+      "mobility": {"v_max_mps": 6}, "traffic": {"connections": 4}
+    },
+    "sweep": {"protocols": ["AODV", "DSR", "CBRP", "DSDV", "OLSR", "LAR", "TORA"]}
+  })");
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  ASSERT_EQ(s.cells.size(), 7u);
+  for (const SweepCell& cell : s.cells) {
+    ScenarioConfig twin;  // test_order_independence's config_for, via builder
+    {
+      const routing::ProtocolEntry* e = protocol_registry().by_name(cell.label);
+      ASSERT_NE(e, nullptr) << cell.label;
+      twin = ScenarioBuilder()
+                 .protocol(static_cast<Protocol>(e->id))
+                 .seed(1)
+                 .nodes(14)
+                 .area(650.0, 650.0)
+                 .speed(0.1, 6.0)
+                 .connections(4)
+                 .duration(seconds(25))
+                 .build();
+    }
+    ASSERT_EQ(fingerprint(cell.config), fingerprint(twin)) << cell.label;
+    const ScenarioResult a = Scenario::run_once(cell.config);
+    const ScenarioResult b = Scenario::run_once(twin);
+    EXPECT_EQ(a.events, b.events) << cell.label;
+    EXPECT_EQ(a.data_originated, b.data_originated) << cell.label;
+    EXPECT_EQ(a.data_delivered, b.data_delivered) << cell.label;
+    EXPECT_EQ(a.routing_tx, b.routing_tx) << cell.label;
+    EXPECT_EQ(a.mac_ctrl_tx, b.mac_ctrl_tx) << cell.label;
+    EXPECT_EQ(a.pdr, b.pdr) << cell.label;
+    EXPECT_EQ(a.delay_ms, b.delay_ms) << cell.label;
+    EXPECT_EQ(a.nrl, b.nrl) << cell.label;
+    EXPECT_EQ(a.avg_hops, b.avg_hops) << cell.label;
+  }
+}
+
+}  // namespace
+}  // namespace manet

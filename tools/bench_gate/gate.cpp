@@ -1,7 +1,6 @@
 #include "gate.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -11,218 +10,15 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/json.hpp"
+
 namespace manet::gate {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON DOM. The tool reads exactly two producers we control
-// (google-benchmark and the simulator's own emitters), so a strict
-// recursive-descent parser over the JSON grammar is all that is needed —
-// no external dependency, no partial/streaming modes.
-// ---------------------------------------------------------------------------
-
-struct Value {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<Value> array;
-  std::vector<std::pair<std::string, Value>> object;  // insertion order
-
-  [[nodiscard]] const Value* find(std::string_view key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-  [[nodiscard]] double num_or(double fallback) const {
-    return kind == Kind::kNumber ? number : fallback;
-  }
-};
-
-class Parser {
- public:
-  Parser(std::string_view text, std::string& err) : s_(text), err_(err) {}
-
-  bool parse(Value& out) {
-    if (!value(out)) return false;
-    skip_ws();
-    if (pos_ != s_.size()) return fail("trailing characters after JSON value");
-    return true;
-  }
-
- private:
-  std::string_view s_;
-  std::size_t pos_ = 0;
-  std::string& err_;
-
-  bool fail(const std::string& what) {
-    std::size_t line = 1;
-    for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i) {
-      if (s_[i] == '\n') ++line;
-    }
-    err_ = "JSON parse error (line " + std::to_string(line) + "): " + what;
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-                                s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  [[nodiscard]] bool eat(char c) {
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool value(Value& out) {
-    skip_ws();
-    if (pos_ >= s_.size()) return fail("unexpected end of input");
-    switch (s_[pos_]) {
-      case '{': return object(out);
-      case '[': return array(out);
-      case '"': out.kind = Value::Kind::kString; return string(out.str);
-      case 't': return keyword("true", out, Value::Kind::kBool, true);
-      case 'f': return keyword("false", out, Value::Kind::kBool, false);
-      case 'n': return keyword("null", out, Value::Kind::kNull, false);
-      default: return number(out);
-    }
-  }
-
-  bool keyword(std::string_view word, Value& out, Value::Kind kind, bool b) {
-    if (s_.substr(pos_, word.size()) != word) return fail("invalid literal");
-    pos_ += word.size();
-    out.kind = kind;
-    out.boolean = b;
-    return true;
-  }
-
-  bool number(Value& out) {
-    const std::size_t start = pos_;
-    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) return fail("expected a value");
-    const std::string token(s_.substr(start, pos_ - start));
-    char* end = nullptr;
-    out.number = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) return fail("malformed number '" + token + "'");
-    out.kind = Value::Kind::kNumber;
-    return true;
-  }
-
-  bool string(std::string& out) {
-    if (!eat('"')) return fail("expected string");
-    out.clear();
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return true;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= s_.size()) break;
-      const char esc = s_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'n': out.push_back('\n'); break;
-        case 't': out.push_back('\t'); break;
-        case 'r': out.push_back('\r'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'u': {
-          // Benchmark names are ASCII; decode BMP escapes to UTF-8 so the
-          // parser never silently corrupts a name it must match later.
-          if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
-          unsigned cp = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            cp <<= 4;
-            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
-            else return fail("bad \\u escape digit");
-          }
-          if (cp < 0x80) {
-            out.push_back(static_cast<char>(cp));
-          } else if (cp < 0x800) {
-            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
-            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-          } else {
-            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
-            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-          }
-          break;
-        }
-        default: return fail("unknown escape");
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  bool array(Value& out) {
-    if (!eat('[')) return fail("expected array");
-    out.kind = Value::Kind::kArray;
-    if (eat(']')) return true;
-    for (;;) {
-      Value v;
-      if (!value(v)) return false;
-      out.array.push_back(std::move(v));
-      if (eat(']')) return true;
-      if (!eat(',')) return fail("expected ',' or ']' in array");
-    }
-  }
-
-  bool object(Value& out) {
-    if (!eat('{')) return fail("expected object");
-    out.kind = Value::Kind::kObject;
-    if (eat('}')) return true;
-    for (;;) {
-      skip_ws();
-      std::string key;
-      if (!string(key)) return false;
-      if (!eat(':')) return fail("expected ':' after object key");
-      Value v;
-      if (!value(v)) return false;
-      out.object.emplace_back(std::move(key), std::move(v));
-      if (eat('}')) return true;
-      if (!eat(',')) return fail("expected ',' or '}' in object");
-    }
-  }
-};
-
-void json_escape(std::ostream& os, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-}
+// The JSON DOM lives in tools/common/json.* (shared with manet_report and
+// the scenario spec loader); this tool only keeps its shape extractors.
+using json::Value;
 
 /// google-benchmark --benchmark_format=json: benchmarks[].items_per_second.
 /// Aggregate rows (mean/median/stddev under --benchmark_repetitions) are
@@ -306,19 +102,6 @@ bool extract_sweep(const Value& root, std::vector<Entry>& out, std::string& err)
   return true;
 }
 
-[[nodiscard]] bool read_file(const std::filesystem::path& p, std::string& out,
-                             std::string& err) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) {
-    err = "cannot read " + p.string();
-    return false;
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  out = ss.str();
-  return true;
-}
-
 [[nodiscard]] std::string format_rate(double v) {
   char buf[32];
   if (v >= 1e6) {
@@ -355,7 +138,7 @@ void usage(std::FILE* to) {
   for (const std::string& path : paths) {
     std::string text;
     std::string err;
-    if (!read_file(path, text, err) || !extract_entries(text, out, err)) {
+    if (!json::read_file(path, text, err) || !extract_entries(text, out, err)) {
       std::fprintf(stderr, "bench_gate: %s: %s\n", path.c_str(), err.c_str());
       return false;
     }
@@ -367,7 +150,7 @@ void usage(std::FILE* to) {
 
 bool extract_entries(const std::string& text, std::vector<Entry>& out, std::string& err) {
   Value root;
-  if (!Parser(text, err).parse(root)) return false;
+  if (!json::parse(text, root, err)) return false;
   if (root.kind != Value::Kind::kObject) {
     err = "top-level JSON value is not an object";
     return false;
@@ -386,7 +169,7 @@ std::string to_baseline_json(const std::vector<Entry>& entries) {
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"";
-    json_escape(os, e.name);
+    json::escape(os, e.name);
     os << "\", \"events_per_sec\": " << e.events_per_sec << ", \"wall_s\": " << e.wall_s;
     if (e.bytes_per_node > 0.0) os << ", \"bytes_per_node\": " << e.bytes_per_node;
     os << '}';
@@ -543,7 +326,7 @@ int run_cli(int argc, const char* const* argv) {
     std::string text;
     std::string err;
     std::vector<Entry> baseline;
-    if (!read_file(baseline_path, text, err) || !extract_entries(text, baseline, err)) {
+    if (!json::read_file(baseline_path, text, err) || !extract_entries(text, baseline, err)) {
       std::fprintf(stderr, "bench_gate: %s: %s\n", baseline_path.c_str(), err.c_str());
       return 2;
     }

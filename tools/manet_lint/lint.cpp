@@ -6,6 +6,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "common/json.hpp"
+
 namespace manet::lint {
 
 namespace {
@@ -1039,6 +1041,11 @@ std::string format_finding(const Finding& f, Format fmt) {
     return "::error file=" + f.file + ",line=" + std::to_string(f.line) + ",title=" + f.rule +
            " " + name + "::" + f.message;
   }
+  if (fmt == Format::kJson) {
+    return "{\"file\": \"" + json::escaped(f.file) + "\", \"line\": " + std::to_string(f.line) +
+           ", \"rule\": \"" + json::escaped(f.rule) + "\", \"name\": \"" + name +
+           "\", \"message\": \"" + json::escaped(f.message) + "\"}";
+  }
   return f.file + ":" + std::to_string(f.line) + ": " + f.rule + " [" + name + "] " + f.message;
 }
 
@@ -1100,9 +1107,10 @@ int run_cli(int argc, const char* const* argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: manet_lint [--list-rules] [--format=human|github] <file|dir>...\n"
+      std::printf("usage: manet_lint [--list-rules] [--format=human|github|json] <file|dir>...\n"
                   "Scans C++ sources for manetsim determinism/shard-safety violations.\n"
                   "  --format=github   emit ::error workflow-command annotations for CI\n"
+                  "  --format=json     emit one JSON array of findings (machine-readable)\n"
                   "Exit code: 0 clean, 1 findings, 2 usage error or nonexistent path.\n");
       return 0;
     }
@@ -1112,8 +1120,11 @@ int run_cli(int argc, const char* const* argv) {
         fmt = Format::kGithub;
       } else if (v == "human") {
         fmt = Format::kHuman;
+      } else if (v == "json") {
+        fmt = Format::kJson;
       } else {
-        std::fprintf(stderr, "manet_lint: unknown format '%.*s' (expected human or github)\n",
+        std::fprintf(stderr,
+                     "manet_lint: unknown format '%.*s' (expected human, github, or json)\n",
                      static_cast<int>(v.size()), v.data());
         return 2;
       }
@@ -1142,8 +1153,18 @@ int run_cli(int argc, const char* const* argv) {
   }
   if (missing) return 2;
   const std::vector<Finding> findings = lint_paths(roots);
-  for (const Finding& f : findings) {
-    std::printf("%s\n", format_finding(f, fmt).c_str());
+  if (fmt == Format::kJson) {
+    // One valid JSON document (an array), not JSON-lines: downstream tooling
+    // can hand the whole artifact to any parser, including tools/common.
+    std::printf("[");
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      std::printf("%s\n  %s", i == 0 ? "" : ",", format_finding(findings[i], fmt).c_str());
+    }
+    std::printf("%s]\n", findings.empty() ? "" : "\n");
+  } else {
+    for (const Finding& f : findings) {
+      std::printf("%s\n", format_finding(f, fmt).c_str());
+    }
   }
   if (findings.empty()) {
     std::fprintf(stderr, "manet_lint: clean\n");

@@ -59,10 +59,11 @@ struct RuleInfo {
 /// The rule table, in id order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
 
-/// Output styles for findings: the human one-liner, or GitHub Actions
+/// Output styles for findings: the human one-liner, GitHub Actions
 /// workflow-command annotations (`::error file=...,line=...`) that render
-/// inline on the PR diff.
-enum class Format { kHuman, kGithub };
+/// inline on the PR diff, or JSON objects (the CLI wraps them in one array —
+/// a machine-readable findings artifact, shared tools/common/json.* shapes).
+enum class Format { kHuman, kGithub, kJson };
 
 /// Render one finding in the given format (no trailing newline).
 [[nodiscard]] std::string format_finding(const Finding& f, Format fmt);

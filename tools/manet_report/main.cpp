@@ -1,0 +1,3 @@
+#include "report.hpp"
+
+int main(int argc, char** argv) { return manet::report::run_cli(argc, argv); }

@@ -1,0 +1,187 @@
+// manetsim — run MANET experiments from declarative scenario files.
+//
+//   manetsim run <scenario.json> [--seeds=N] [--threads=N] [--duration=S]
+//                [--out-dir=DIR] [--cell=SUBSTR]
+//   manetsim validate <scenario.json>...
+//   manetsim list-protocols
+//
+// `run` expands the spec (src/scenario/spec.hpp documents the schema) into a
+// labeled cell grid, executes it on one SweepRunner pool, and writes the same
+// <out-dir>/<name>.{json,csv} artifacts the C++ benches write — a spec and
+// its bench twin produce byte-identical per-seed results. The MANET_BENCH_*
+// environment knobs apply exactly as they do to the benches (so the CI bench
+// recipe drives both sides identically); explicit flags override both the
+// spec and the environment.
+//
+// Exit codes: 0 success, 1 run/write failure, 2 usage or spec validation
+// error (every diagnostic is printed as "file:line: key: message").
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/sweep.hpp"
+
+namespace {
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: manetsim run <scenario.json> [--seeds=N] [--threads=N] [--duration=S]\n"
+               "                    [--out-dir=DIR] [--cell=SUBSTR]\n"
+               "       manetsim validate <scenario.json>...\n"
+               "       manetsim list-protocols\n");
+  return out == stderr ? 2 : 0;
+}
+
+/// --key=value flag parsing; returns nullptr when `arg` is not `--key=`.
+const char* flag_value(const char* arg, const char* key) {
+  const std::size_t n = std::strlen(key);
+  if (std::strncmp(arg, key, n) != 0 || arg[n] != '=') return nullptr;
+  return arg + n + 1;
+}
+
+bool parse_long(const char* s, long& out) {
+  char* end = nullptr;
+  out = std::strtol(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+int cmd_list_protocols() {
+  for (const manet::routing::ProtocolEntry& e : manet::protocol_registry()) {
+    std::printf("%s\n", e.name);
+  }
+  return 0;
+}
+
+int cmd_validate(const std::vector<const char*>& files) {
+  bool all_ok = true;
+  for (const char* file : files) {
+    const manet::spec::ScenarioSpec spec = manet::spec::load_file(file);
+    if (spec.ok()) {
+      std::printf("%s: OK (%zu cells, seeds=%d)\n", file, spec.cells.size(), spec.seeds);
+    } else {
+      std::fputs(spec.error_report().c_str(), stderr);
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 2;
+}
+
+int cmd_run(const char* file, const std::vector<const char*>& flags) {
+  long seeds_flag = 0;
+  long threads_flag = -1;
+  double duration_flag = 0.0;
+  std::string out_dir_flag;
+  std::string cell_filter;
+  for (const char* arg : flags) {
+    if (const char* v = flag_value(arg, "--seeds")) {
+      if (!parse_long(v, seeds_flag) || seeds_flag < 1) {
+        std::fprintf(stderr, "manetsim: --seeds must be a positive integer, got \"%s\"\n", v);
+        return 2;
+      }
+    } else if (const char* v = flag_value(arg, "--threads")) {
+      if (!parse_long(v, threads_flag) || threads_flag < 0) {
+        std::fprintf(stderr, "manetsim: --threads must be >= 0 (0 = hw concurrency), got \"%s\"\n",
+                     v);
+        return 2;
+      }
+    } else if (const char* v = flag_value(arg, "--duration")) {
+      if (!parse_double(v, duration_flag) || duration_flag <= 0.0) {
+        std::fprintf(stderr, "manetsim: --duration must be positive seconds, got \"%s\"\n", v);
+        return 2;
+      }
+    } else if (const char* v = flag_value(arg, "--out-dir")) {
+      out_dir_flag = v;
+    } else if (const char* v = flag_value(arg, "--cell")) {
+      cell_filter = v;
+    } else {
+      std::fprintf(stderr, "manetsim: unknown flag \"%s\"\n", arg);
+      return usage(stderr);
+    }
+  }
+
+  manet::spec::ScenarioSpec spec = manet::spec::load_file(file);
+  if (!spec.ok()) {
+    std::fputs(spec.error_report().c_str(), stderr);
+    return 2;
+  }
+
+  // Environment knobs apply like they do to the benches; flags trump both.
+  const manet::BenchEnv env = manet::BenchEnv::parse(/*default_seeds=*/spec.seeds);
+  const int seeds = seeds_flag > 0 ? static_cast<int>(seeds_flag) : env.seeds;
+  const unsigned threads =
+      threads_flag >= 0 ? static_cast<unsigned>(threads_flag) : env.threads;
+  std::string out_dir = spec.out_dir;
+  if (env.results_dir != "results") out_dir = env.results_dir;
+  if (!out_dir_flag.empty()) out_dir = out_dir_flag;
+
+  std::vector<manet::SweepCell> cells;
+  for (manet::SweepCell& cell : spec.cells) {
+    if (!cell_filter.empty() && cell.label.find(cell_filter) == std::string::npos) continue;
+    env.apply_duration(cell.config);
+    if (duration_flag > 0.0) cell.config.duration = manet::seconds_f(duration_flag);
+    cells.push_back(std::move(cell));
+  }
+  if (cells.empty()) {
+    std::fprintf(stderr, "manetsim: --cell=%s matches none of the %zu cell labels\n",
+                 cell_filter.c_str(), spec.cells.size());
+    return 2;
+  }
+
+  if (!spec.description.empty()) std::printf("%s\n", spec.description.c_str());
+  const manet::SweepRunner runner(seeds, threads);
+  manet::SweepResult sweep = runner.run(cells);
+  sweep.name = spec.name;
+
+  std::printf("%-28s %9s %10s %10s %8s %8s\n", "cell", "pdr", "delay_ms", "kbps", "nrl",
+              "hops");
+  for (const manet::SweepCellResult& cell : sweep.cells) {
+    const manet::Aggregate& a = cell.aggregate;
+    std::printf("%-28s %9.4f %10.3f %10.2f %8.3f %8.3f\n", cell.label.c_str(), a.pdr.mean,
+                a.delay_ms.mean, a.throughput_kbps.mean, a.nrl.mean, a.avg_hops.mean);
+  }
+
+  const std::string json_path = out_dir + "/" + spec.name + ".json";
+  const std::string csv_path = out_dir + "/" + spec.name + ".csv";
+  const bool ok = sweep.write_json(json_path) && sweep.write_csv(csv_path);
+  std::printf("\nsweep: %zu cells x %d seeds on %u threads in %.2f s (%.0f events/s)\n",
+              sweep.cells.size(), sweep.seeds_per_cell, sweep.threads, sweep.wall_s,
+              sweep.events_per_sec);
+  if (ok) std::printf("artifacts: %s %s\n", json_path.c_str(), csv_path.c_str());
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(stderr);
+  const std::string_view cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(stdout);
+  if (cmd == "list-protocols") return cmd_list_protocols();
+  if (cmd == "validate") {
+    if (argc < 3) {
+      std::fprintf(stderr, "manetsim: validate needs at least one scenario file\n");
+      return usage(stderr);
+    }
+    return cmd_validate({argv + 2, argv + argc});
+  }
+  if (cmd == "run") {
+    if (argc < 3) {
+      std::fprintf(stderr, "manetsim: run needs a scenario file\n");
+      return usage(stderr);
+    }
+    return cmd_run(argv[2], {argv + 3, argv + argc});
+  }
+  std::fprintf(stderr, "manetsim: unknown command \"%s\"\n", argv[1]);
+  return usage(stderr);
+}
