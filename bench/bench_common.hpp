@@ -244,6 +244,25 @@ inline ScenarioConfig sources_cell(Protocol p, double sources) {
       .build();
 }
 
+/// Load-collapse suite: offered-load sweep with the reliable transport on.
+/// Every CBR source runs closed-loop through ReliableTransport, so raising
+/// per-flow rate alone just fills send windows; sweeping the *source count*
+/// instead raises aggregate offered load past the MAC's capacity, and
+/// goodput collapses under RTO/retransmission pressure (the figure's claim).
+inline ScenarioConfig load_cell(Protocol p, double sources) {
+  TransportConfig transport;
+  transport.enabled = true;
+  return ScenarioBuilder()
+      .protocol(p)
+      .seed(1)
+      .nodes(40)
+      .area(1500.0, 300.0)
+      .speed(0.1, 10.0)
+      .connections(static_cast<std::uint32_t>(sources))
+      .transport(transport)
+      .build();
+}
+
 /// Scale suite: the urban Manhattan family at constant density — the city
 /// grows with N, so this sweeps metropolitan size, not node density (see
 /// urban_scenario() in scenario/builder.hpp).

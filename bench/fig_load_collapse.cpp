@@ -1,0 +1,25 @@
+// fig_load_collapse — goodput vs offered load with the reliable transport on.
+//
+// Sweeps the CBR source count in {4, 8, 16, 24, 32, 48} on the Boukerche
+// 40-node / 1500 x 300 m field for all seven protocols. Each source runs
+// closed-loop over ReliableTransport (cumulative ACKs, RTO backoff, AIMD
+// window), so the figure shows the classic load-collapse curve: goodput
+// (kbps of in-order delivered application bytes) rises with offered load
+// until the MAC saturates, then declines as RTO storms spend airtime on
+// retransmissions instead of fresh data.
+//
+// The AODV/sources:4 cell is the CI load-smoke canary (--cell=sources:4
+// under pinned MANET_BENCH_SEEDS/MANET_BENCH_DURATION, gated against
+// BENCH_load.json); the full sweep runs in the nightly job.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace manet;
+  bench::Suite suite("fig_load_collapse", /*default_seeds=*/1);
+  const std::vector<Protocol> protos(std::begin(kAllProtocols), std::end(kAllProtocols));
+  suite.add_sweep(protos, "sources", {4, 8, 16, 24, 32, 48}, bench::Metric::kAll,
+                  bench::load_cell);
+  return suite.run(argc, argv,
+                   "fig_load_collapse: closed-loop offered-load sweep over the reliable "
+                   "transport, 40 nodes / 1500 x 300 m");
+}

@@ -1,6 +1,7 @@
 #include "app/cbr.hpp"
 
 #include "core/assert.hpp"
+#include "transport/transport.hpp"
 
 namespace manet {
 
@@ -15,11 +16,17 @@ void CbrSource::start() {
 
 void CbrSource::send_one() {
   if (node_.sim().now() > cfg_.stop) return;
-  Packet pkt;
-  pkt.ip.dst = cfg_.dst;
-  pkt.payload_bytes = cfg_.payload_bytes;
-  pkt.app = AppHeader{.flow = cfg_.flow, .seq = seq_++, .sent_at = node_.sim().now()};
-  node_.originate(std::move(pkt));
+  if (ReliableTransport* tp = node_.transport(); tp != nullptr) {
+    // Closed loop: a full transport send buffer refuses the offer, the app
+    // keeps its sequence number and re-offers the same packet next tick.
+    if (tp->try_send(cfg_.flow, cfg_.dst, cfg_.payload_bytes, seq_)) ++seq_;
+  } else {
+    Packet pkt;
+    pkt.ip.dst = cfg_.dst;
+    pkt.payload_bytes = cfg_.payload_bytes;
+    pkt.app = AppHeader{.flow = cfg_.flow, .seq = seq_++, .sent_at = node_.sim().now()};
+    node_.originate(std::move(pkt));
+  }
   node_.sim().schedule(cfg_.interval, [this] { send_one(); });
 }
 

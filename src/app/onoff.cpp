@@ -1,6 +1,7 @@
 #include "app/onoff.hpp"
 
 #include "core/assert.hpp"
+#include "transport/transport.hpp"
 
 namespace manet {
 
@@ -30,11 +31,16 @@ void OnOffSource::send_one() {
     node_.sim().schedule(idle, [this] { begin_burst(); });
     return;
   }
-  Packet pkt;
-  pkt.ip.dst = cfg_.dst;
-  pkt.payload_bytes = cfg_.payload_bytes;
-  pkt.app = AppHeader{.flow = cfg_.flow, .seq = seq_++, .sent_at = node_.sim().now()};
-  node_.originate(std::move(pkt));
+  if (ReliableTransport* tp = node_.transport(); tp != nullptr) {
+    // Closed loop: see CbrSource::send_one().
+    if (tp->try_send(cfg_.flow, cfg_.dst, cfg_.payload_bytes, seq_)) ++seq_;
+  } else {
+    Packet pkt;
+    pkt.ip.dst = cfg_.dst;
+    pkt.payload_bytes = cfg_.payload_bytes;
+    pkt.app = AppHeader{.flow = cfg_.flow, .seq = seq_++, .sent_at = node_.sim().now()};
+    node_.originate(std::move(pkt));
+  }
   node_.sim().schedule(cfg_.interval, [this] { send_one(); });
 }
 

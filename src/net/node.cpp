@@ -2,6 +2,7 @@
 
 #include "core/assert.hpp"
 #include "core/shard_sentinel.hpp"
+#include "transport/transport.hpp"
 
 namespace manet {
 
@@ -46,6 +47,23 @@ void Node::originate(Packet pkt) {
   routing_->route_packet(std::move(pkt));
 }
 
+void Node::transport_send(Packet pkt) {
+  MANET_SENTINEL_CHECK(id_, "Node::transport_send");
+  pkt.kind = PacketKind::kData;
+  pkt.ip.src = id_;
+  pkt.ip.ttl = kInitialTtl;
+  pkt.ip.proto = IpProto::kUdp;
+  if (down_) {
+    // The transport's RTO timers keep firing between crash and restart;
+    // their retransmissions go nowhere, like routing timer output.
+    drop(pkt, DropReason::kNodeDown);
+    return;
+  }
+  if (trace_ != nullptr) trace_->record('s', sim_.now(), id_, pkt);
+  MANET_ASSERT(routing_ != nullptr);
+  routing_->route_packet(std::move(pkt));
+}
+
 void Node::crash() {
   MANET_SENTINEL_CHECK(id_, "Node::crash");
   MANET_EXPECTS(!down_);
@@ -63,6 +81,7 @@ void Node::restart() {
   down_ = false;
   trx_.set_down(false);
   if (routing_ != nullptr) routing_->on_node_restart();
+  if (transport_ != nullptr) transport_->on_node_restart();
   if (trace_ != nullptr) trace_->record_fault(sim_.now(), id_, "restart");
 }
 
@@ -88,7 +107,11 @@ void Node::send_broadcast(Packet pkt) {
 
 void Node::drop(const Packet& pkt, DropReason r) {
   MANET_SENTINEL_CHECK(id_, "Node::drop");
-  if (pkt.kind == PacketKind::kData) stats_.on_data_dropped(r);
+  // Pure ACKs carry no application payload; counting them as data drops
+  // would skew the drop distribution against the transport's control chatter.
+  if (pkt.kind == PacketKind::kData && pkt.transport.kind != SegKind::kAck) {
+    stats_.on_data_dropped(r);
+  }
   if (trace_ != nullptr) trace_->record('D', sim_.now(), id_, pkt, to_string(r));
 }
 
@@ -130,6 +153,17 @@ void Node::mac_deliver(const Packet& frame) {
       return;
     case PacketKind::kData: {
       if (frame.ip.dst == id_) {
+        // Transport-carrying packets terminate in the transport endpoint; a
+        // bare datagram (or any segment on a transport-less node) falls
+        // through to the raw sink as before.
+        if (transport_ != nullptr && frame.transport.kind == SegKind::kAck) {
+          transport_->on_ack(frame);
+          return;
+        }
+        if (transport_ != nullptr && frame.transport.kind == SegKind::kData) {
+          transport_->on_segment(frame);
+          return;
+        }
         deliver_to_sink(frame);
         return;
       }

@@ -23,6 +23,8 @@
 
 namespace manet {
 
+class ReliableTransport;
+
 /// Initial TTL on originated data packets; also bounds flooding.
 inline constexpr std::uint8_t kInitialTtl = 64;
 
@@ -40,6 +42,10 @@ class Node final : public MacListener {
   Node& operator=(const Node&) = delete;
 
   void set_routing(RoutingProtocol* rp) { routing_ = rp; }
+  /// Attach the (optional) reliable transport endpoint of this node. When
+  /// set, data packets carrying a transport header are steered to it instead
+  /// of the raw sink, and restart() cold-resets it alongside routing.
+  void set_transport(ReliableTransport* t) { transport_ = t; }
   /// Attach an (optional, shared) event trace.
   void set_trace(TraceWriter* t) { trace_ = t; }
 
@@ -51,11 +57,18 @@ class Node final : public MacListener {
   [[nodiscard]] Transceiver& transceiver() { return trx_; }
   [[nodiscard]] Arp& arp() { return arp_; }
   [[nodiscard]] RoutingProtocol* routing() { return routing_; }
+  [[nodiscard]] ReliableTransport* transport() { return transport_; }
 
   // -- application side -------------------------------------------------------
   /// Originate a data packet (called by traffic sources). Stamps network
   /// headers, counts it, and hands it to the routing protocol.
   void originate(Packet pkt);
+
+  /// Send a transport segment or ACK (called by the reliable transport).
+  /// Same header stamping and routing as originate(), but no origination
+  /// accounting: the transport counts each application packet exactly once
+  /// at try_send() acceptance, however often it is retransmitted.
+  void transport_send(Packet pkt);
 
   // -- fault injection ---------------------------------------------------------
   /// Crash: power the radio down and flush the volatile stack state (MAC
@@ -84,6 +97,9 @@ class Node final : public MacListener {
   void mac_link_failure(const Packet& frame, NodeId next_hop) override;
 
  private:
+  // The transport's receive side delivers in-order payloads to the sink.
+  friend class ReliableTransport;
+
   void deliver_to_sink(const Packet& pkt);
 
   /// Sink-side duplicate filter key. Bit budget: 20 bits each for flow,
@@ -103,6 +119,7 @@ class Node final : public MacListener {
   WifiMac mac_;
   Arp arp_;
   RoutingProtocol* routing_ = nullptr;
+  ReliableTransport* transport_ = nullptr;
   TraceWriter* trace_ = nullptr;
   bool down_ = false;
   // Survives crashes deliberately: the sink filter is measurement apparatus

@@ -23,7 +23,10 @@ std::size_t Packet::size_bytes() const {
   std::size_t n = kMacDataHeaderBytes;
   if (kind == PacketKind::kArp) return n + kArpBytes;
   n += kIpHeaderBytes;
-  if (kind == PacketKind::kData) n += kUdpHeaderBytes + payload_bytes;
+  if (kind == PacketKind::kData) {
+    n += kUdpHeaderBytes + payload_bytes;
+    if (transport.kind != SegKind::kNone) n += kTransportHeaderBytes;
+  }
   if (routing) n += routing->size_bytes();
   return n;
 }

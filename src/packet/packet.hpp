@@ -37,6 +37,11 @@ inline constexpr std::size_t kMacAckBytes = 14;
 inline constexpr std::size_t kArpBytes = 28;
 inline constexpr std::size_t kIpHeaderBytes = 20;
 inline constexpr std::size_t kUdpHeaderBytes = 8;
+/// Extra bytes the reliable transport adds on top of the UDP header (seq,
+/// cumulative ack, epoch — a TCP-ish 20-byte total). Charged only when a
+/// packet actually carries a transport segment, so open-loop UDP traffic
+/// keeps its historical frame sizes byte-for-byte.
+inline constexpr std::size_t kTransportHeaderBytes = 12;
 
 // ---------------------------------------------------------------------------
 // MAC header
@@ -85,6 +90,25 @@ struct AppHeader {
   std::uint32_t flow = 0;
   std::uint32_t seq = 0;
   SimTime sent_at = SimTime::zero();
+};
+
+// ---------------------------------------------------------------------------
+// Reliable transport (src/transport) — rides between app and net. A packet
+// with kind == kNone carries no transport segment at all (the open-loop
+// CBR/UDP path); kData is a sequenced payload segment, kAck a cumulative
+// acknowledgement. `epoch` numbers the sender's incarnation of the flow so a
+// receiver can tell a cold-restarted sender from a stale retransmission.
+// ---------------------------------------------------------------------------
+enum class SegKind : std::uint8_t {
+  kNone,  ///< no transport header (plain UDP datagram)
+  kData,  ///< sequenced data segment
+  kAck,   ///< cumulative ACK: `seq` is the next expected segment number
+};
+
+struct TransportHeader {
+  SegKind kind = SegKind::kNone;
+  std::uint32_t seq = 0;    ///< data: segment number; ack: cumulative ack
+  std::uint32_t epoch = 0;  ///< sender incarnation (bumps on abort/restart)
 };
 
 // ---------------------------------------------------------------------------
@@ -183,6 +207,7 @@ class Packet {
   ArpHeader arp;  // valid iff kind == kArp
   IpHeader ip;    // valid unless kind == kArp
   AppHeader app;  // valid iff kind == kData
+  TransportHeader transport;  // kNone unless the reliable transport is in play
 
   /// Application payload size in bytes (e.g. 512 for the paper's CBR).
   std::size_t payload_bytes = 0;

@@ -82,6 +82,11 @@ ScenarioBuilder& ScenarioBuilder::cbr_interval(SimTime interval) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::transport(const TransportConfig& transport) {
+  cfg_.transport = transport;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::duration(SimTime duration) {
   cfg_.duration = duration;
   return *this;
@@ -188,6 +193,22 @@ ScenarioConfig ScenarioBuilder::build() const {
 
   MANET_EXPECTS_MSG(cfg.shards <= kMaxShards, "shards=%u exceeds the kernel cap of %u",
                     cfg.shards, kMaxShards);
+
+  if (cfg.transport.enabled) {
+    const TransportConfig& t = cfg.transport;
+    MANET_EXPECTS_MSG(
+        t.rto_min > SimTime::zero() && t.rto_min <= t.rto_initial && t.rto_initial <= t.rto_max,
+        "transport rto bounds need 0 < rto_min <= rto_initial <= rto_max, got min=%.3fs "
+        "initial=%.3fs max=%.3fs",
+        t.rto_min.sec(), t.rto_initial.sec(), t.rto_max.sec());
+    MANET_EXPECTS_MSG(t.cwnd_init >= 1 && t.cwnd_init <= t.cwnd_max,
+                      "transport cwnd needs 1 <= cwnd_init <= cwnd_max, got init=%u max=%u",
+                      t.cwnd_init, t.cwnd_max);
+    MANET_EXPECTS_MSG(t.max_retx >= 1, "transport.max_retx must be >= 1, got %u", t.max_retx);
+    MANET_EXPECTS_MSG(t.buffer_packets >= t.cwnd_max,
+                      "transport.buffer_packets must be >= cwnd_max, got buffer=%u cwnd_max=%u",
+                      t.buffer_packets, t.cwnd_max);
+  }
 
   MANET_EXPECTS_MSG(cfg.phy.frame_loss_rate >= 0.0 && cfg.phy.frame_loss_rate < 1.0,
                     "frame_loss_rate must be in [0, 1), got %g", cfg.phy.frame_loss_rate);

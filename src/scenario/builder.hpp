@@ -59,6 +59,9 @@ class ScenarioBuilder {
   ScenarioBuilder& payload(std::size_t bytes);
   ScenarioBuilder& traffic(TrafficKind kind);
   ScenarioBuilder& cbr_interval(SimTime interval);
+  /// Reliable transport between app and net (closed-loop traffic); the
+  /// config's RTO/cwnd/buffer bounds are validated at build().
+  ScenarioBuilder& transport(const TransportConfig& transport);
 
   // -- run shape --------------------------------------------------------------
   ScenarioBuilder& duration(SimTime duration);

@@ -209,6 +209,17 @@ void Scenario::build() {
     node->set_routing(protocols_.back().get());
   }
 
+  // Reliable transport (optional): one endpoint per node, all feeding the
+  // shared FlowMonitor. Attached before the traffic sources start so the
+  // apps see it and switch to closed-loop mode.
+  if (cfg_.transport.enabled) {
+    for (auto& node : nodes_) {
+      transports_.push_back(
+          std::make_unique<ReliableTransport>(*node, cfg_.transport, &flow_monitor_));
+      node->set_transport(transports_.back().get());
+    }
+  }
+
   // Traffic: `num_connections` distinct (src, dst) pairs, start times
   // staggered uniformly across the start window — the standard cbrgen.tcl
   // recipe.
@@ -414,6 +425,7 @@ ScenarioResult Scenario::run() {
   }
   r.data_originated = stats_.data_originated();
   r.data_delivered = stats_.data_delivered();
+  r.retransmissions = flow_monitor_.total_retransmissions();
   r.routing_tx = stats_.routing_tx();
   r.mac_ctrl_tx = stats_.mac_ctrl_tx();
   r.events = sim_.events_executed();
@@ -429,6 +441,7 @@ ScenarioResult Scenario::run() {
   r.fault_corrupted = stats_.fault_corrupted();
   r.delivered_during_fault = stats_.delivered_during_fault();
   r.delivered_after_fault = stats_.delivered_after_fault();
+  r.flows = flow_monitor_.all();
   return r;
 }
 

@@ -29,8 +29,10 @@
 #include "routing/lar/lar.hpp"
 #include "routing/olsr/olsr.hpp"
 #include "routing/tora/tora.hpp"
+#include "stats/flow_monitor.hpp"
 #include "stats/stats.hpp"
 #include "trace/trace.hpp"
+#include "transport/transport.hpp"
 
 namespace manet {
 
@@ -89,6 +91,11 @@ struct ScenarioConfig {
   SimTime onoff_burst_mean = seconds(5);     // ON/OFF workload only
   SimTime onoff_idle_mean = seconds(5);
 
+  /// Reliable transport between app and net (closed-loop traffic). Off by
+  /// default: the paper's open-loop CBR/UDP workload, byte-identical to the
+  /// pre-transport simulator.
+  TransportConfig transport;
+
   // Duration.
   SimTime duration = seconds(150);
 
@@ -140,6 +147,8 @@ struct ScenarioResult {
   double connectivity = 1.0;
   std::uint64_t data_originated = 0;
   std::uint64_t data_delivered = 0;
+  /// Transport-layer retransmissions over all flows (0 when transport off).
+  std::uint64_t retransmissions = 0;
   std::uint64_t routing_tx = 0;
   std::uint64_t mac_ctrl_tx = 0;
   std::uint64_t events = 0;
@@ -160,6 +169,10 @@ struct ScenarioResult {
   std::uint64_t fault_corrupted = 0;
   std::uint64_t delivered_during_fault = 0;
   std::uint64_t delivered_after_fault = 0;
+
+  /// Per-flow accounting records, sorted by flow id (empty when the
+  /// transport is off — keeps transport-free artifacts byte-identical).
+  std::vector<std::pair<std::uint32_t, FlowRecord>> flows;
 };
 
 class Scenario {
@@ -183,6 +196,12 @@ class Scenario {
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_[i]; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] RoutingProtocol& routing(std::size_t i) { return *protocols_[i]; }
+  /// Node i's transport endpoint (nullptr when the transport is disabled).
+  [[nodiscard]] ReliableTransport* transport_of(std::size_t i) {
+    return i < transports_.size() ? transports_[i].get() : nullptr;
+  }
+  /// Per-flow accounting (idle/empty when the transport is disabled).
+  [[nodiscard]] const FlowMonitor& flow_monitor() const { return flow_monitor_; }
   /// The compiled fault schedule (empty when fault injection is disabled).
   [[nodiscard]] const FaultPlan& fault_plan() const { return fault_plan_; }
   /// Node -> shard assignment (identity map when unsharded).
@@ -203,6 +222,9 @@ class Scenario {
   std::unique_ptr<Channel> channel_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<RoutingProtocol>> protocols_;
+  // Declared after nodes_ (they hold Node&): destroyed first.
+  std::vector<std::unique_ptr<ReliableTransport>> transports_;
+  FlowMonitor flow_monitor_;
   std::vector<std::unique_ptr<CbrSource>> sources_;
   std::vector<std::unique_ptr<OnOffSource>> onoff_sources_;
   std::unique_ptr<TraceWriter> trace_;

@@ -326,6 +326,48 @@ void apply_fault(Checker& c, const Value& o, const std::string& path, ScenarioCo
   }
 }
 
+void apply_transport(Checker& c, const Value& o, const std::string& path, ScenarioConfig& cfg) {
+  if (!c.expect_kind(o, Value::Kind::kObject, path)) return;
+  TransportConfig& t = cfg.transport;
+  for (const auto& [k, v] : o.object) {
+    const std::string p = path + "." + k;
+    double x = 0.0;
+    long long n = 0;
+    bool b = false;
+    if (k == "enabled") {
+      if (c.boolean(v, p, b)) t.enabled = b;
+    } else if (k == "rto_initial_ms") {
+      if (c.num(v, p, x) && c.require(x > 0.0, v, p, "> 0", x)) {
+        t.rto_initial = seconds_f(x / 1000.0);
+      }
+    } else if (k == "rto_min_ms") {
+      if (c.num(v, p, x) && c.require(x > 0.0, v, p, "> 0", x)) t.rto_min = seconds_f(x / 1000.0);
+    } else if (k == "rto_max_ms") {
+      if (c.num(v, p, x) && c.require(x > 0.0, v, p, "> 0", x)) t.rto_max = seconds_f(x / 1000.0);
+    } else if (k == "cwnd_init") {
+      if (c.integer(v, p, n) && c.require(n >= 1, v, p, ">= 1", static_cast<double>(n))) {
+        t.cwnd_init = static_cast<std::uint32_t>(n);
+      }
+    } else if (k == "cwnd_max") {
+      if (c.integer(v, p, n) && c.require(n >= 1, v, p, ">= 1", static_cast<double>(n))) {
+        t.cwnd_max = static_cast<std::uint32_t>(n);
+      }
+    } else if (k == "max_retx") {
+      if (c.integer(v, p, n) && c.require(n >= 1, v, p, ">= 1", static_cast<double>(n))) {
+        t.max_retx = static_cast<std::uint32_t>(n);
+      }
+    } else if (k == "buffer_packets") {
+      if (c.integer(v, p, n) && c.require(n >= 1, v, p, ">= 1", static_cast<double>(n))) {
+        t.buffer_packets = static_cast<std::uint32_t>(n);
+      }
+    } else {
+      c.fail(v, p,
+             "unknown key (expected: enabled, rto_initial_ms, rto_min_ms, rto_max_ms, "
+             "cwnd_init, cwnd_max, max_retx, buffer_packets)");
+    }
+  }
+}
+
 /// The shared settings object: `base` and each explicit cell's `set`.
 void apply_settings(Checker& c, const Value& o, const std::string& path, ScenarioConfig& cfg) {
   if (!c.expect_kind(o, Value::Kind::kObject, path)) return;
@@ -393,11 +435,13 @@ void apply_settings(Checker& c, const Value& o, const std::string& path, Scenari
       apply_urban(c, v, p, cfg);
     } else if (k == "fault") {
       apply_fault(c, v, p, cfg);
+    } else if (k == "transport") {
+      apply_transport(c, v, p, cfg);
     } else {
       c.fail(v, p,
              "unknown key (expected: protocol, seed, nodes, area_m, static, duration_s, "
              "shards, measure_connectivity, trace, mobility, traffic, radio, mac, urban, "
-             "fault)");
+             "fault, transport)");
     }
   }
 }
@@ -410,7 +454,7 @@ struct Axis {
   std::vector<double> values;  ///< validated at parse time; apply is unchecked
 };
 
-constexpr const char* kAxisParams = "pause, vmax, nodes, sources, crash, loss";
+constexpr const char* kAxisParams = "pause, vmax, nodes, sources, crash, loss, rate";
 
 /// Range-check one axis value at parse time (so a bad value is reported once,
 /// not once per protocol).
@@ -428,6 +472,8 @@ void check_axis_value(Checker& c, const Axis& a, const Value& v, const std::stri
     if (std::floor(x) != x || x < 0.0) c.fail(v, key, "must be an integer >= 0, got " + fmt_g(x));
   } else if (a.param == "loss") {
     c.require(x >= 0.0 && x < 1.0, v, key, "in [0, 1)", x);
+  } else if (a.param == "rate") {
+    c.require(x > 0.0, v, key, "> 0", x);
   }
 }
 
@@ -467,6 +513,10 @@ void apply_axis(const Axis& a, double v, ScenarioConfig& cfg) {
     cfg.fault.crash_rate = v;
   } else if (a.param == "loss") {
     cfg.phy.frame_loss_rate = v;
+  } else if (a.param == "rate") {
+    // Offered load in packets/s per flow, the paper family's x-axis for the
+    // load-collapse figures (same conversion as traffic.rate_pps).
+    cfg.cbr_interval = seconds_f(1.0 / v);
   }
 }
 
@@ -492,6 +542,27 @@ void check_contracts(Checker& c, const ScenarioConfig& cfg, int line, const std:
     c.fail_at(line, where,
               "nlos_rx_range_m must be in (0, rx_range], got " + fmt_g(cfg.phy.nlos_rx_range_m) +
                   " (rx_range " + fmt_g(cfg.phy.rx_range_m) + ")");
+  }
+  if (cfg.transport.enabled) {
+    const TransportConfig& t = cfg.transport;
+    if (!(t.rto_min > SimTime::zero() && t.rto_min <= t.rto_initial &&
+          t.rto_initial <= t.rto_max)) {
+      c.fail_at(line, where,
+                "transport rto bounds need 0 < rto_min <= rto_initial <= rto_max, got min=" +
+                    fmt_s(t.rto_min.sec()) + "s initial=" + fmt_s(t.rto_initial.sec()) +
+                    "s max=" + fmt_s(t.rto_max.sec()) + "s");
+    }
+    if (!(t.cwnd_init >= 1 && t.cwnd_init <= t.cwnd_max)) {
+      c.fail_at(line, where,
+                "transport cwnd needs 1 <= cwnd_init <= cwnd_max, got init=" +
+                    std::to_string(t.cwnd_init) + " max=" + std::to_string(t.cwnd_max));
+    }
+    if (t.buffer_packets < t.cwnd_max) {
+      c.fail_at(line, where,
+                "transport.buffer_packets must be >= cwnd_max, got buffer=" +
+                    std::to_string(t.buffer_packets) +
+                    " cwnd_max=" + std::to_string(t.cwnd_max));
+    }
   }
   if (cfg.fault.enabled()) {
     const FaultConfig& f = cfg.fault;
@@ -694,7 +765,7 @@ ScenarioSpec load_string(const std::string& text, const std::string& filename) {
           }
           if (!axis.urban_family && axis.param != "pause" && axis.param != "vmax" &&
               axis.param != "nodes" && axis.param != "sources" && axis.param != "crash" &&
-              axis.param != "loss") {
+              axis.param != "loss" && axis.param != "rate") {
             c.fail(av, pi + ".param",
                    "unknown sweep param \"" + axis.param + "\" (expected: " + kAxisParams +
                        "; or set \"family\": \"urban\")");

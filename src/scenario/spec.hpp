@@ -34,7 +34,10 @@
 //                 "blackout_mean_s": 5, "corrupt_rate": 0, "corrupt_from_s": 0,
 //                 "corrupt_until_s": 0, "partition": false,
 //                 "partition_frac": 0.5, "partition_from_s": 0,
-//                 "partition_until_s": 0, "window_from_s": 10}
+//                 "partition_until_s": 0, "window_from_s": 10},
+//       "transport": {"enabled": true, "rto_initial_ms": 1000, "rto_min_ms": 200,
+//                     "rto_max_ms": 60000, "cwnd_init": 2, "cwnd_max": 32,
+//                     "max_retx": 7, "buffer_packets": 64}
 //     },
 //     "sweep": {
 //       "protocols": ["AODV", "DSR", "CBRP"],  // default: base protocol only
@@ -50,6 +53,7 @@
 //   sources  CBR connection count                    (integer >= 0)
 //   crash    expected crash/restart cycles per node  (>= 0)
 //   loss     per-frame loss probability              ([0, 1))
+//   rate     per-flow offered load, packets/s        (> 0)
 // An axis may instead set "family": "urban" — each value is then a node
 // count fed through the urban Manhattan family (urban_scenario():
 // constant-density city, street-canyon shadowing), and "param" only names

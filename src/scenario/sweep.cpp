@@ -116,8 +116,24 @@ std::string SweepResult::to_json() const {
          << ", \"sim_rate\": " << r.sim_rate << ", \"events_per_sec\": " << r.events_per_sec
          << ", \"events\": " << r.events << ", \"peak_queue_depth\": " << r.peak_queue_depth
          << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
-         << ", \"shards\": " << r.shards << ", \"cross_shard_events\": " << r.cross_shard_events
-         << '}';
+         << ", \"shards\": " << r.shards << ", \"cross_shard_events\": " << r.cross_shard_events;
+      // FlowMonitor table, present only for transport-enabled runs so
+      // transport-free artifacts stay byte-identical to pre-transport ones.
+      if (!r.flows.empty()) {
+        os << ", \"retransmissions\": " << r.retransmissions << ", \"flows\": [";
+        for (std::size_t f = 0; f < r.flows.size(); ++f) {
+          const FlowRecord& fr = r.flows[f].second;
+          os << (f == 0 ? "" : ", ") << "{\"flow\": " << r.flows[f].first
+             << ", \"src\": " << fr.src << ", \"dst\": " << fr.dst
+             << ", \"tx_packets\": " << fr.tx_packets << ", \"tx_bytes\": " << fr.tx_bytes
+             << ", \"rx_packets\": " << fr.rx_packets << ", \"rx_bytes\": " << fr.rx_bytes
+             << ", \"retransmissions\": " << fr.retransmissions
+             << ", \"avg_delay_ms\": " << fr.avg_delay_ms()
+             << ", \"mean_jitter_ms\": " << fr.mean_jitter_ms() << '}';
+        }
+        os << ']';
+      }
+      os << '}';
     }
     os << "]}}";
   }
@@ -215,6 +231,8 @@ SweepResult SweepRunner::run(const std::vector<SweepCell>& cells) const {
       p.peak_rss_bytes = process_peak_rss_bytes();
       p.shards = r.shards;
       p.cross_shard_events = r.cross_shard_events;
+      p.retransmissions = r.retransmissions;
+      p.flows = r.flows;
       if (wall > 0.0) {
         p.sim_rate = cfg.duration.sec() / wall;
         p.events_per_sec = static_cast<double>(r.events) / wall;

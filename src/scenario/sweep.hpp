@@ -50,6 +50,10 @@ struct RunProfile {
   /// Sharded-kernel accounting (1 / 0 for unsharded runs).
   std::uint32_t shards = 1;
   std::uint64_t cross_shard_events = 0;
+  /// Reliable-transport accounting, empty/0 when transport is disabled so
+  /// transport-free artifacts stay byte-identical to pre-transport ones.
+  std::uint64_t retransmissions = 0;
+  std::vector<std::pair<std::uint32_t, FlowRecord>> flows;
 };
 
 /// One cell of the finished sweep: aggregate metrics + profiling.

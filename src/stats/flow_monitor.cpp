@@ -1,0 +1,71 @@
+#include "stats/flow_monitor.hpp"
+
+#include <algorithm>
+
+namespace manet {
+
+void FlowMonitor::on_tx(std::uint32_t flow, NodeId src, NodeId dst, std::size_t payload_bytes,
+                        SimTime at) {
+  FlowRecord& f = active_[flow];
+  if (f.tx_packets == 0 && f.rx_packets == 0) {
+    f.src = src;
+    f.dst = dst;
+    f.first_tx = at;
+  }
+  ++f.tx_packets;
+  f.tx_bytes += payload_bytes;
+}
+
+void FlowMonitor::on_retransmit(std::uint32_t flow) { ++active_[flow].retransmissions; }
+
+void FlowMonitor::on_rx(std::uint32_t flow, std::size_t payload_bytes, SimTime delay,
+                        SimTime at) {
+  FlowRecord& f = active_[flow];
+  ++f.rx_packets;
+  f.rx_bytes += payload_bytes;
+  const double d = delay.sec();
+  f.delay_sum_s += d;
+  if (f.has_last_delay_) {
+    f.jitter_sum_s += d >= f.last_delay_s_ ? d - f.last_delay_s_ : f.last_delay_s_ - d;
+    ++f.jitter_samples;
+  }
+  f.last_delay_s_ = d;
+  f.has_last_delay_ = true;
+  f.last_rx = at;
+}
+
+void FlowMonitor::retire(std::uint32_t flow) {
+  const auto it = active_.find(flow);
+  if (it == active_.end()) return;
+  finished_.emplace_back(it->first, it->second);
+  active_.erase(it);
+}
+
+const FlowRecord* FlowMonitor::find(std::uint32_t flow) const {
+  const auto it = active_.find(flow);
+  return it == active_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::uint32_t, FlowRecord>> FlowMonitor::all() const {
+  std::vector<std::pair<std::uint32_t, FlowRecord>> out(finished_);
+  out.insert(out.end(), active_.begin(), active_.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::uint64_t FlowMonitor::total_rx_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, f] : active_) n += f.rx_bytes;
+  for (const auto& [id, f] : finished_) n += f.rx_bytes;
+  return n;
+}
+
+std::uint64_t FlowMonitor::total_retransmissions() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, f] : active_) n += f.retransmissions;
+  for (const auto& [id, f] : finished_) n += f.retransmissions;
+  return n;
+}
+
+}  // namespace manet

@@ -1,0 +1,86 @@
+// Per-flow accounting in the style of ns-3's FlowMonitor.
+//
+// One FlowMonitor per simulation run. The reliable transport (src/transport)
+// reports each flow's transmissions, retransmissions and in-order deliveries;
+// the monitor keeps one fixed-size record per flow — counters and running
+// sums only, never per-packet history — so memory is O(active flows)
+// regardless of how many packets a flow moves. Finished flows can be
+// retire()d out of the active table into a frozen list, keeping the hot map
+// sized by what is actually in flight.
+//
+// Jitter follows the RFC 3550 idea reduced to its deterministic core: the
+// mean absolute difference between consecutive one-way delays of a flow.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/time.hpp"
+#include "packet/packet.hpp"
+
+namespace manet {
+
+/// Accounting record of one flow. All counters are cumulative over the run.
+struct FlowRecord {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t tx_packets = 0;  ///< distinct segments first-transmitted
+  std::uint64_t tx_bytes = 0;    ///< payload bytes of those segments
+  std::uint64_t rx_packets = 0;  ///< segments delivered in order at the sink
+  std::uint64_t rx_bytes = 0;    ///< payload bytes of those deliveries
+  std::uint64_t retransmissions = 0;
+  double delay_sum_s = 0.0;      ///< sum of end-to-end delays over rx_packets
+  double jitter_sum_s = 0.0;     ///< sum of |delay_i - delay_{i-1}|
+  std::uint64_t jitter_samples = 0;
+  SimTime first_tx = SimTime::zero();
+  SimTime last_rx = SimTime::zero();
+
+  [[nodiscard]] double avg_delay_ms() const {
+    return rx_packets == 0 ? 0.0 : delay_sum_s * 1e3 / static_cast<double>(rx_packets);
+  }
+  [[nodiscard]] double mean_jitter_ms() const {
+    return jitter_samples == 0 ? 0.0
+                               : jitter_sum_s * 1e3 / static_cast<double>(jitter_samples);
+  }
+
+ private:
+  friend class FlowMonitor;
+  double last_delay_s_ = 0.0;
+  bool has_last_delay_ = false;
+};
+
+class FlowMonitor {
+ public:
+  /// A segment's first transmission (retransmissions go to on_retransmit).
+  void on_tx(std::uint32_t flow, NodeId src, NodeId dst, std::size_t payload_bytes, SimTime at);
+  void on_retransmit(std::uint32_t flow);
+  /// An in-order delivery at the sink; `delay` is end-to-end (original send
+  /// to delivery, retransmission latency included).
+  void on_rx(std::uint32_t flow, std::size_t payload_bytes, SimTime delay, SimTime at);
+
+  /// Move a flow out of the active table into the frozen finished list.
+  /// Totals are preserved; later on_* calls for the id reopen a fresh record.
+  void retire(std::uint32_t flow);
+
+  /// Active record for `flow`, or nullptr if absent (never saw traffic, or
+  /// retired).
+  [[nodiscard]] const FlowRecord* find(std::uint32_t flow) const;
+  [[nodiscard]] std::size_t active_count() const { return active_.size(); }
+  [[nodiscard]] std::size_t finished_count() const { return finished_.size(); }
+
+  /// Every record — active and finished — sorted by flow id (finished flows
+  /// keep their retirement order within an id, though ids are unique in
+  /// practice). The canonical artifact-emission view.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, FlowRecord>> all() const;
+
+  [[nodiscard]] std::uint64_t total_rx_bytes() const;
+  [[nodiscard]] std::uint64_t total_retransmissions() const;
+
+ private:
+  std::map<std::uint32_t, FlowRecord> active_;
+  std::vector<std::pair<std::uint32_t, FlowRecord>> finished_;
+};
+
+}  // namespace manet

@@ -16,6 +16,7 @@ const char* to_string(DropReason r) {
     case DropReason::kLoop: return "routing-loop";
     case DropReason::kProtocol: return "protocol-discard";
     case DropReason::kNodeDown: return "node-down";
+    case DropReason::kTransportGiveUp: return "transport-give-up";
     case DropReason::kCount_: break;
   }
   return "?";

@@ -34,6 +34,7 @@ enum class DropReason : std::uint8_t {
   kLoop,            ///< routing loop detected (same packet seen again)
   kProtocol,        ///< protocol-specific discard (e.g. stale source route)
   kNodeDown,        ///< held by a node that crashed (fault injection)
+  kTransportGiveUp, ///< reliable transport exhausted max_retx and aborted the flow incarnation
   kCount_
 };
 
@@ -99,6 +100,9 @@ class StatsCollector {
   [[nodiscard]] std::uint64_t arp_tx() const { return arp_tx_; }
   [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
   [[nodiscard]] std::uint64_t duplicate_deliveries() const { return duplicate_deliveries_; }
+  /// Total application payload bytes over delivered data packets (the
+  /// numerator of throughput; cross-checked against FlowMonitor rx bytes).
+  [[nodiscard]] std::uint64_t delivered_bytes() const { return delivered_bytes_; }
   [[nodiscard]] double energy_tx_j() const { return energy_tx_j_; }
   [[nodiscard]] double energy_rx_j() const { return energy_rx_j_; }
   /// Radio energy (tx+rx airtime only; idle/sleep not modelled) per

@@ -1,0 +1,180 @@
+// FlowMonitor: per-flow accounting pinned against hand-computed arithmetic
+// and cross-checked against the aggregate StatsCollector on every registered
+// protocol.
+//
+//   1. Unit fixtures: tx/rx counters, the RFC-3550-style mean-absolute
+//      jitter, retire() semantics, totals over active + finished records.
+//   2. Structure: the table is O(active flows) — a flow's record never grows
+//      with its packet count.
+//   3. Integration: a transport-enabled scenario per registered protocol;
+//      the per-flow sums must reconcile exactly with the run's aggregate
+//      counters, and transport-off runs must emit no flow records at all.
+
+#include "stats/flow_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/time.hpp"
+#include "scenario/builder.hpp"
+#include "scenario/scenario.hpp"
+#include "transport/transport.hpp"
+
+namespace manet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// 1. Hand-computed unit fixtures
+// ---------------------------------------------------------------------------
+
+TEST(FlowMonitor, CountersAndDelayJitterArithmetic) {
+  FlowMonitor m;
+  m.on_tx(7, /*src=*/2, /*dst=*/9, 512, seconds(1));
+  m.on_tx(7, 2, 9, 512, seconds(2));
+  m.on_tx(7, 2, 9, 512, seconds(3));
+  m.on_retransmit(7);
+
+  // One-way delays 10, 14, 12 ms: avg = 12 ms; jitter samples |14-10| = 4
+  // and |12-14| = 2, mean 3 ms.
+  m.on_rx(7, 512, milliseconds(10), seconds_f(1.010));
+  m.on_rx(7, 512, milliseconds(14), seconds_f(2.014));
+  m.on_rx(7, 512, milliseconds(12), seconds_f(3.012));
+
+  const FlowRecord* r = m.find(7);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->src, 2u);
+  EXPECT_EQ(r->dst, 9u);
+  EXPECT_EQ(r->tx_packets, 3u);
+  EXPECT_EQ(r->tx_bytes, 3u * 512u);
+  EXPECT_EQ(r->rx_packets, 3u);
+  EXPECT_EQ(r->rx_bytes, 3u * 512u);
+  EXPECT_EQ(r->retransmissions, 1u);
+  EXPECT_DOUBLE_EQ(r->avg_delay_ms(), 12.0);
+  EXPECT_DOUBLE_EQ(r->mean_jitter_ms(), 3.0);
+  EXPECT_EQ(r->first_tx, seconds(1));
+  EXPECT_EQ(r->last_rx, seconds_f(3.012));
+
+  // A flow that never saw traffic has no record — and no divide-by-zero.
+  EXPECT_EQ(m.find(8), nullptr);
+  FlowRecord empty;
+  EXPECT_DOUBLE_EQ(empty.avg_delay_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean_jitter_ms(), 0.0);
+}
+
+TEST(FlowMonitor, RetireFreezesTotalsAndReopensFresh) {
+  FlowMonitor m;
+  m.on_tx(3, 0, 1, 100, seconds(1));
+  m.on_rx(3, 100, milliseconds(5), seconds_f(1.005));
+  m.retire(3);
+  EXPECT_EQ(m.active_count(), 0u);
+  EXPECT_EQ(m.finished_count(), 1u);
+  EXPECT_EQ(m.find(3), nullptr);  // out of the hot table
+
+  // Totals span active + finished; a later on_* reopens a fresh record.
+  m.on_tx(3, 0, 1, 100, seconds(2));
+  EXPECT_EQ(m.active_count(), 1u);
+  ASSERT_NE(m.find(3), nullptr);
+  EXPECT_EQ(m.find(3)->tx_packets, 1u);  // fresh, not the frozen 1+1
+  m.on_retransmit(3);
+  EXPECT_EQ(m.total_rx_bytes(), 100u);
+  EXPECT_EQ(m.total_retransmissions(), 1u);
+
+  const auto all = m.all();
+  ASSERT_EQ(all.size(), 2u);  // the frozen record and the reopened one
+  EXPECT_EQ(all[0].first, 3u);
+  EXPECT_EQ(all[1].first, 3u);
+}
+
+TEST(FlowMonitor, AllIsSortedByFlowId) {
+  FlowMonitor m;
+  m.on_tx(9, 0, 1, 10, seconds(1));
+  m.on_tx(2, 0, 1, 10, seconds(1));
+  m.retire(9);
+  m.on_tx(5, 0, 1, 10, seconds(1));
+  const auto all = m.all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].first, 2u);
+  EXPECT_EQ(all[1].first, 5u);
+  EXPECT_EQ(all[2].first, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// 2. O(active flows) structure
+// ---------------------------------------------------------------------------
+
+TEST(FlowMonitor, TableSizeIsBoundedByFlowsNotPackets) {
+  FlowMonitor m;
+  for (int i = 0; i < 100000; ++i) {
+    m.on_tx(1, 0, 1, 512, seconds(i));
+    m.on_rx(1, 512, milliseconds(10), seconds_f(i + 0.01));
+    if (i % 3 == 0) m.on_retransmit(1);
+  }
+  // 100k packets, one record: the monitor keeps counters and running sums,
+  // never per-packet history (the FlowRecord itself is a flat value type).
+  EXPECT_EQ(m.active_count(), 1u);
+  EXPECT_EQ(m.find(1)->tx_packets, 100000u);
+  static_assert(sizeof(FlowRecord) < 160, "FlowRecord grew per-packet state?");
+}
+
+// ---------------------------------------------------------------------------
+// 3. Per-flow vs aggregate cross-check on every registered protocol
+// ---------------------------------------------------------------------------
+
+ScenarioBuilder transport_scenario(const char* protocol) {
+  TransportConfig transport;
+  transport.enabled = true;
+  ScenarioBuilder b;
+  b.protocol(protocol)
+      .seed(1)
+      .nodes(12)
+      .area(600.0, 600.0)
+      .speed(0.1, 5.0)
+      .connections(3)
+      .duration(seconds(12));
+  return b.transport(transport);
+}
+
+TEST(FlowMonitorIntegration, PerFlowSumsReconcileWithAggregateStats) {
+  for (const routing::ProtocolEntry& entry : protocol_registry()) {
+    const ScenarioResult r = Scenario::run_once(transport_scenario(entry.name).build());
+    ASSERT_FALSE(r.flows.empty()) << entry.name;
+    EXPECT_LE(r.flows.size(), 3u) << entry.name;  // O(active flows): one per source
+
+    std::uint64_t rx_packets = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t tx_packets = 0;
+    std::uint64_t retransmissions = 0;
+    for (const auto& [flow, fr] : r.flows) {
+      rx_packets += fr.rx_packets;
+      rx_bytes += fr.rx_bytes;
+      tx_packets += fr.tx_packets;
+      retransmissions += fr.retransmissions;
+      // Every in-order delivery of a segment implies its first transmission.
+      EXPECT_LE(fr.rx_packets, fr.tx_packets) << entry.name << " flow " << flow;
+      EXPECT_EQ(fr.tx_bytes, fr.tx_packets * 512u) << entry.name << " flow " << flow;
+      if (fr.rx_packets > 0) {
+        EXPECT_GE(fr.last_rx, fr.first_tx) << entry.name << " flow " << flow;
+        EXPECT_GT(fr.avg_delay_ms(), 0.0) << entry.name << " flow " << flow;
+      }
+    }
+    // The reconciliation: the monitor's per-flow deliveries ARE the run's
+    // delivered packets (512-byte payloads), its retransmission total IS the
+    // run's, and nothing was transmitted that was never offered.
+    EXPECT_EQ(rx_packets, r.data_delivered) << entry.name;
+    EXPECT_EQ(rx_bytes, r.data_delivered * 512u) << entry.name;
+    EXPECT_EQ(retransmissions, r.retransmissions) << entry.name;
+    EXPECT_LE(tx_packets, r.data_originated) << entry.name;
+  }
+}
+
+TEST(FlowMonitorIntegration, TransportOffRunsCarryNoFlowRecords) {
+  ScenarioBuilder b = transport_scenario("AODV");
+  const ScenarioResult r = Scenario::run_once(b.transport(TransportConfig{}).build());
+  EXPECT_TRUE(r.flows.empty());
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_GT(r.data_delivered, 0u);
+}
+
+}  // namespace
+}  // namespace manet

@@ -33,6 +33,7 @@
 #include "scenario/builder.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
+#include "testutil.hpp"
 
 namespace manet {
 namespace {
@@ -191,19 +192,7 @@ TEST(ManhattanDeterminism, PureFunctionOfTimeAcrossSamplingPatterns) {
 // 3. The urban scenario family
 // ---------------------------------------------------------------------------
 
-std::string fingerprint(const ScenarioResult& r) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "events=%llu orig=%llu deliv=%llu rtx=%llu mac=%llu "
-                "pdr=%.12g delay=%.12g nrl=%.12g hops=%.12g conn=%.12g",
-                static_cast<unsigned long long>(r.events),
-                static_cast<unsigned long long>(r.data_originated),
-                static_cast<unsigned long long>(r.data_delivered),
-                static_cast<unsigned long long>(r.routing_tx),
-                static_cast<unsigned long long>(r.mac_ctrl_tx), r.pdr, r.delay_ms, r.nrl,
-                r.avg_hops, r.connectivity);
-  return buf;
-}
+using test::result_fingerprint;
 
 TEST(UrbanFamily, BuilderWiresTheStreetCanyonModel) {
   const ScenarioConfig cfg = urban_scenario(200).build();
@@ -233,7 +222,7 @@ TEST(UrbanFamily, ShadowingActuallyBites) {
   ScenarioBuilder b = urban_scenario(40).protocol(Protocol::kAodv).seed(2).duration(seconds(20));
   const ScenarioResult on = b.run();
   const ScenarioResult off = ScenarioBuilder::from(b.build()).urban(0.0).run();
-  EXPECT_NE(fingerprint(on), fingerprint(off));
+  EXPECT_NE(result_fingerprint(on), result_fingerprint(off));
   // NLOS pruning can only remove oracle edges.
   EXPECT_LE(on.connectivity, off.connectivity);
 }
@@ -243,8 +232,10 @@ TEST(UrbanFamily, ByteIdenticalAcrossShardCounts) {
   const ScenarioResult one = Scenario::run_once(b.shards(1).build());
   const ScenarioResult two = Scenario::run_once(b.shards(2).build());
   const ScenarioResult four = Scenario::run_once(b.shards(4).build());
-  EXPECT_EQ(fingerprint(two), fingerprint(one)) << "urban family diverged at 2 shards";
-  EXPECT_EQ(fingerprint(four), fingerprint(one)) << "urban family diverged at 4 shards";
+  EXPECT_EQ(result_fingerprint(two), result_fingerprint(one))
+      << "urban family diverged at 2 shards";
+  EXPECT_EQ(result_fingerprint(four), result_fingerprint(one))
+      << "urban family diverged at 4 shards";
   // Non-vacuous: the sharded runs really split the city.
   EXPECT_GT(two.cross_shard_events, 0u);
   EXPECT_GT(four.cross_shard_events, 0u);
@@ -259,10 +250,12 @@ TEST(UrbanFamily, FaultedRunsReplayAndShardIdentically) {
       urban_scenario(40).protocol(Protocol::kAodv).seed(5).duration(seconds(20)).fault(fault);
   const ScenarioResult first = Scenario::run_once(b.shards(1).build());
   const ScenarioResult again = Scenario::run_once(b.shards(1).build());
-  EXPECT_EQ(fingerprint(again), fingerprint(first)) << "faulted urban run not replay-safe";
+  EXPECT_EQ(result_fingerprint(again), result_fingerprint(first))
+      << "faulted urban run not replay-safe";
   EXPECT_GT(first.crashes, 0u) << "fault plan produced no crashes; restart path untested";
   const ScenarioResult sharded = Scenario::run_once(b.shards(2).build());
-  EXPECT_EQ(fingerprint(sharded), fingerprint(first)) << "faulted urban run diverged sharded";
+  EXPECT_EQ(result_fingerprint(sharded), result_fingerprint(first))
+      << "faulted urban run diverged sharded";
 }
 
 // ---------------------------------------------------------------------------

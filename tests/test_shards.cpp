@@ -27,6 +27,8 @@
 #include "scenario/builder.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
+#include "testutil.hpp"
+#include "transport/transport.hpp"
 
 namespace manet {
 namespace {
@@ -168,21 +170,7 @@ ScenarioBuilder small_scenario(Protocol p, std::uint64_t seed) {
   return b;
 }
 
-/// Everything observable a run produces, as one exact-match string (the
-/// test_order_independence fingerprint, plus kernel accounting).
-std::string fingerprint(const ScenarioResult& r) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "events=%llu orig=%llu deliv=%llu rtx=%llu mac=%llu "
-                "pdr=%.12g delay=%.12g nrl=%.12g hops=%.12g",
-                static_cast<unsigned long long>(r.events),
-                static_cast<unsigned long long>(r.data_originated),
-                static_cast<unsigned long long>(r.data_delivered),
-                static_cast<unsigned long long>(r.routing_tx),
-                static_cast<unsigned long long>(r.mac_ctrl_tx), r.pdr, r.delay_ms, r.nrl,
-                r.avg_hops);
-  return buf;
-}
+using test::result_fingerprint;
 
 TEST(ShardIdentity, AllProtocolsByteIdenticalAcrossShardCounts) {
   for (const routing::ProtocolEntry& entry : protocol_registry()) {
@@ -191,8 +179,10 @@ TEST(ShardIdentity, AllProtocolsByteIdenticalAcrossShardCounts) {
     const ScenarioResult two = Scenario::run_once(b.shards(2).build());
     const ScenarioResult four = Scenario::run_once(b.shards(4).build());
 
-    EXPECT_EQ(fingerprint(two), fingerprint(one)) << entry.name << " diverged at 2 shards";
-    EXPECT_EQ(fingerprint(four), fingerprint(one)) << entry.name << " diverged at 4 shards";
+    EXPECT_EQ(result_fingerprint(two), result_fingerprint(one))
+        << entry.name << " diverged at 2 shards";
+    EXPECT_EQ(result_fingerprint(four), result_fingerprint(one))
+        << entry.name << " diverged at 4 shards";
 
     // The identity must not be vacuous: the sharded runs really did split
     // the node set and hand events across the boundary.
@@ -220,8 +210,60 @@ TEST(ShardIdentity, FaultedRunByteIdenticalAcrossShardCounts) {
   b.fault(fault);
   const ScenarioResult one = Scenario::run_once(b.shards(1).build());
   const ScenarioResult two = Scenario::run_once(b.shards(2).build());
-  EXPECT_EQ(fingerprint(two), fingerprint(one));
+  EXPECT_EQ(result_fingerprint(two), result_fingerprint(one));
   EXPECT_GT(two.cross_shard_events, 0u);
+}
+
+TEST(ShardIdentity, TransportRunsByteIdenticalAcrossShardCountsAndPinned) {
+  // The reliable transport adds cross-node feedback loops (ACKs, RTO timers,
+  // closed-loop sources) — exactly the machinery most likely to smuggle in a
+  // shard-count dependence. Every protocol must stay byte-identical across
+  // MANET_SHARDS ∈ {1, 2, 4} with transport on, and the 1-shard fingerprint
+  // is pinned as a golden so silent behaviour drift is caught even when it
+  // drifts consistently across shard counts.
+  const struct {
+    const char* protocol;
+    const char* golden;
+  } kGoldens[] = {
+      {"AODV",
+       "events=60675 orig=155 deliv=155 rtx=32 mac=1612 tretx=1 flows=4 "
+       "pdr=1 delay=24.4912135355 nrl=0.206451612903 hops=1.66451612903 conn=1"},
+      {"DSR",
+       "events=60481 orig=155 deliv=155 rtx=36 mac=1612 tretx=0 flows=4 "
+       "pdr=1 delay=6.65363146452 nrl=0.232258064516 hops=1.66451612903 conn=1"},
+      {"CBRP",
+       "events=71014 orig=155 deliv=155 rtx=233 mac=1735 tretx=0 flows=4 "
+       "pdr=1 delay=6.29110536774 nrl=1.50322580645 hops=1.66451612903 conn=1"},
+      {"DSDV",
+       "events=74292 orig=155 deliv=155 rtx=464 mac=1622 tretx=0 flows=4 "
+       "pdr=1 delay=6.1661884129 nrl=2.9935483871 hops=1.67741935484 conn=1"},
+      {"OLSR",
+       "events=67576 orig=155 deliv=155 rtx=282 mac=1591 tretx=0 flows=4 "
+       "pdr=1 delay=5.99328171613 nrl=1.81935483871 hops=1.66451612903 conn=1"},
+      {"LAR",
+       "events=68359 orig=155 deliv=155 rtx=114 mac=1759 tretx=1 flows=4 "
+       "pdr=1 delay=26.3854300194 nrl=0.735483870968 hops=1.85161290323 conn=1"},
+      {"TORA",
+       "events=74413 orig=155 deliv=155 rtx=489 mac=1600 tretx=1 flows=4 "
+       "pdr=1 delay=25.1729141161 nrl=3.15483870968 hops=1.66451612903 conn=1"},
+  };
+  TransportConfig transport;
+  transport.enabled = true;
+  for (const auto& g : kGoldens) {
+    ScenarioBuilder b = small_scenario(Protocol::kAodv, 1).protocol(g.protocol);
+    b.transport(transport);
+    const ScenarioResult one = Scenario::run_once(b.shards(1).build());
+    const ScenarioResult two = Scenario::run_once(b.shards(2).build());
+    const ScenarioResult four = Scenario::run_once(b.shards(4).build());
+    test::expect_golden(result_fingerprint(one), g.golden, g.protocol);
+    EXPECT_EQ(result_fingerprint(two), result_fingerprint(one))
+        << g.protocol << " transport run diverged at 2 shards";
+    EXPECT_EQ(result_fingerprint(four), result_fingerprint(one))
+        << g.protocol << " transport run diverged at 4 shards";
+    EXPECT_GT(two.cross_shard_events, 0u) << g.protocol;
+    // Closed-loop traffic really flowed through the transport.
+    EXPECT_FALSE(one.flows.empty()) << g.protocol;
+  }
 }
 
 TEST(ShardIdentity, SweepAggregatesByteIdenticalAcrossShardCounts) {

@@ -39,7 +39,8 @@ std::string fingerprint(const ScenarioConfig& c) {
       "man_block=%g man_pturn=%g conn=%u payload=%zu traffic=%d cbr=%lld start=%lld "
       "startw=%lld burst=%lld idle=%lld dur=%lld shards=%u conn_meas=%d trace=%s "
       "phy=%g,%g,%g,%g urban=%g,%g,%g mac_rts=%d,%zu,%zu "
-      "fault=%g,%lld,%d,%lld,%g,%lld,%lld,%d,%g,%lld,%lld,%lld",
+      "fault=%g,%lld,%d,%lld,%g,%lld,%lld,%d,%g,%lld,%lld,%lld "
+      "tp=%d,%lld,%lld,%lld,%u,%u,%u,%u",
       static_cast<int>(c.protocol), static_cast<unsigned long long>(c.seed), c.num_nodes,
       c.area.width, c.area.height, c.static_nodes ? 1 : 0, static_cast<int>(c.mobility), c.v_min,
       c.v_max, static_cast<long long>(c.pause.ns()),
@@ -58,7 +59,11 @@ std::string fingerprint(const ScenarioConfig& c) {
       static_cast<long long>(c.fault.corrupt_until.ns()), c.fault.partition ? 1 : 0,
       c.fault.partition_frac, static_cast<long long>(c.fault.partition_from.ns()),
       static_cast<long long>(c.fault.partition_until.ns()),
-      static_cast<long long>(c.fault.window_from.ns()));
+      static_cast<long long>(c.fault.window_from.ns()), c.transport.enabled ? 1 : 0,
+      static_cast<long long>(c.transport.rto_initial.ns()),
+      static_cast<long long>(c.transport.rto_min.ns()),
+      static_cast<long long>(c.transport.rto_max.ns()), c.transport.cwnd_init,
+      c.transport.cwnd_max, c.transport.max_retx, c.transport.buffer_packets);
   return buf;
 }
 
@@ -161,6 +166,33 @@ TEST(SpecLoader, RatePpsIsIntervalReciprocal) {
   EXPECT_EQ(s.cells[0].config.cbr_interval, milliseconds(250));
 }
 
+TEST(SpecLoader, TransportSectionRoundTrip) {
+  const auto s = load(R"({
+    "name": "tp",
+    "base": {"transport": {
+      "enabled": true, "rto_initial_ms": 500, "rto_min_ms": 100,
+      "rto_max_ms": 30000, "cwnd_init": 4, "cwnd_max": 16,
+      "max_retx": 5, "buffer_packets": 32
+    }}
+  })");
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  const TransportConfig& t = s.cells[0].config.transport;
+  EXPECT_TRUE(t.enabled);
+  EXPECT_EQ(t.rto_initial, milliseconds(500));
+  EXPECT_EQ(t.rto_min, milliseconds(100));
+  EXPECT_EQ(t.rto_max, seconds(30));
+  EXPECT_EQ(t.cwnd_init, 4u);
+  EXPECT_EQ(t.cwnd_max, 16u);
+  EXPECT_EQ(t.max_retx, 5u);
+  EXPECT_EQ(t.buffer_packets, 32u);
+
+  // A spec with no transport section keeps the closed loop off entirely, so
+  // existing scenario files keep producing byte-identical open-loop runs.
+  const auto off = load(R"({"name": "off"})");
+  ASSERT_TRUE(off.ok()) << off.error_report();
+  EXPECT_FALSE(off.cells[0].config.transport.enabled);
+}
+
 // -- sweep expansion ---------------------------------------------------------
 
 TEST(SpecLoader, SweepExpandsProtocolMajorWithBenchLabels) {
@@ -191,6 +223,25 @@ TEST(SpecLoader, VmaxZeroMeansStatic) {
   EXPECT_TRUE(s.cells[0].config.static_nodes);
   EXPECT_FALSE(s.cells[1].config.static_nodes);
   EXPECT_EQ(s.cells[1].config.v_max, 5.0);
+}
+
+TEST(SpecLoader, RateAxisSweepsOfferedLoadAsIntervalReciprocal) {
+  const auto s = load(R"({
+    "name": "load",
+    "sweep": {"axes": [{"param": "rate", "values": [4, 8]}]}
+  })");
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  ASSERT_EQ(s.cells.size(), 2u);
+  EXPECT_EQ(s.cells[0].label, "AODV/rate:4");
+  EXPECT_EQ(s.cells[1].label, "AODV/rate:8");
+  EXPECT_EQ(s.cells[0].config.cbr_interval, milliseconds(250));
+  EXPECT_EQ(s.cells[1].config.cbr_interval, milliseconds(125));
+
+  const auto bad = load(R"({
+    "name": "load0", "sweep": {"axes": [{"param": "rate", "values": [0]}]}
+  })");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(has_error(bad, "> 0"));
 }
 
 TEST(SpecLoader, ExplicitCellsOverrideBase) {
@@ -327,6 +378,72 @@ TEST(SpecErrors, CrossFieldContracts) {
   EXPECT_TRUE(has_error(s4, "fault window opens"));
 }
 
+TEST(SpecErrors, TransportKeyAndValueViolations) {
+  const auto s = load(R"({
+    "name": "tp",
+    "base": {"transport": {"typo_key": 1, "enabled": "yes"}}
+  })");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "base.transport.typo_key"));
+  EXPECT_TRUE(has_error(s,
+                        "unknown key (expected: enabled, rto_initial_ms, rto_min_ms, "
+                        "rto_max_ms, cwnd_init, cwnd_max, max_retx, buffer_packets)"));
+  EXPECT_TRUE(has_error(s, "expected bool, got string"));
+
+  const auto s2 = load(R"({
+    "name": "tp2",
+    "base": {"transport": {"rto_initial_ms": 0, "rto_min_ms": -5, "cwnd_init": 0,
+                           "max_retx": 0, "buffer_packets": 2.5}}
+  })");
+  ASSERT_FALSE(s2.ok());
+  EXPECT_TRUE(has_error(s2, "base.transport.rto_initial_ms"));
+  EXPECT_TRUE(has_error(s2, "base.transport.rto_min_ms"));
+  EXPECT_TRUE(has_error(s2, "must be > 0, got -5"));
+  EXPECT_TRUE(has_error(s2, "base.transport.cwnd_init"));
+  EXPECT_TRUE(has_error(s2, "base.transport.max_retx"));
+  EXPECT_TRUE(has_error(s2, "must be >= 1, got 0"));
+  EXPECT_TRUE(has_error(s2, "base.transport.buffer_packets"));
+  EXPECT_TRUE(has_error(s2, "must be an integer"));
+
+  // Errors are line-anchored at the offending value, like every other key.
+  const auto s3 =
+      load("{\n\"name\": \"x\",\n\"base\": {\n  \"transport\": {\n    \"cwnd_init\": 0\n}\n}\n}");
+  ASSERT_FALSE(s3.ok());
+  ASSERT_EQ(s3.errors.size(), 1u);
+  EXPECT_EQ(spec::to_string(s3.errors[0], "f.json"),
+            "f.json:5: base.transport.cwnd_init: must be >= 1, got 0");
+}
+
+TEST(SpecErrors, TransportCrossFieldContracts) {
+  // rto_min above rto_initial breaks the RTO ordering contract.
+  const auto s = load(R"({
+    "name": "c", "base": {"transport": {"enabled": true, "rto_min_ms": 2000}}
+  })");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(has_error(s, "transport rto bounds need 0 < rto_min <= rto_initial <= rto_max"));
+
+  const auto s2 = load(R"({
+    "name": "c2",
+    "base": {"transport": {"enabled": true, "cwnd_init": 8, "cwnd_max": 4}}
+  })");
+  ASSERT_FALSE(s2.ok());
+  EXPECT_TRUE(has_error(s2, "transport cwnd needs 1 <= cwnd_init <= cwnd_max"));
+
+  const auto s3 = load(R"({
+    "name": "c3",
+    "base": {"transport": {"enabled": true, "cwnd_max": 24, "buffer_packets": 8}}
+  })");
+  ASSERT_FALSE(s3.ok());
+  EXPECT_TRUE(has_error(s3, "transport.buffer_packets must be >= cwnd_max"));
+
+  // With the transport disabled the same values are inert configuration, not
+  // a contract violation — the simulator never reads them.
+  const auto s4 = load(R"({
+    "name": "c4", "base": {"transport": {"rto_min_ms": 2000, "cwnd_init": 8, "cwnd_max": 4}}
+  })");
+  EXPECT_TRUE(s4.ok()) << s4.error_report();
+}
+
 TEST(SpecErrors, SweepShapeErrors) {
   const auto s = load(R"({
     "name": "s",
@@ -417,6 +534,31 @@ TEST(SpecTwins, FaultSweepMatchesBenchFaultCell) {
       fault.window_from = seconds(20);
       const ScenarioConfig twin =
           ScenarioBuilder().protocol(p).seed(1).nodes(30).speed(0.1, 5.0).fault(fault).build();
+      EXPECT_EQ(fingerprint(s.cells[i].config), fingerprint(twin)) << s.cells[i].label;
+      ++i;
+    }
+  }
+}
+
+TEST(SpecTwins, LoadCollapseMatchesBenchLoadCell) {
+  const auto s = spec::load_file(scenario_path("fig_load_collapse.json"));
+  ASSERT_TRUE(s.ok()) << s.error_report();
+  ASSERT_EQ(s.cells.size(), 42u);  // 7 protocols x 6 source counts
+  std::size_t i = 0;
+  for (const Protocol p : kAllProtocols) {
+    for (const std::uint32_t sources : {4u, 8u, 16u, 24u, 32u, 48u}) {
+      // bench::load_cell from bench_common.hpp, inlined.
+      TransportConfig transport;
+      transport.enabled = true;
+      const ScenarioConfig twin = ScenarioBuilder()
+                                      .protocol(p)
+                                      .seed(1)
+                                      .nodes(40)
+                                      .area(1500.0, 300.0)
+                                      .speed(0.1, 10.0)
+                                      .connections(sources)
+                                      .transport(transport)
+                                      .build();
       EXPECT_EQ(fingerprint(s.cells[i].config), fingerprint(twin)) << s.cells[i].label;
       ++i;
     }

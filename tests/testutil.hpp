@@ -1,13 +1,26 @@
-// Shared test fixtures: deterministic static-topology networks.
+// Shared test fixtures: deterministic static-topology networks and the
+// golden-fingerprint helpers.
 //
 // TestNet builds a complete stack (channel, nodes at fixed positions, a
 // chosen routing protocol) so protocol tests can assert on delivery, route
 // shape, and control traffic over hand-crafted topologies (lines, grids,
 // stars) instead of random scenarios.
+//
+// result_fingerprint() + expect_golden() are the one shared vocabulary for
+// the pinned byte-exact determinism suites (test_shards, test_scale,
+// test_fault): every observable a run produces rendered as one exact-match
+// string, and one regeneration protocol (MANET_PRINT_GOLDENS=1) for all of
+// them.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/simulator.hpp"
@@ -15,9 +28,46 @@
 #include "mobility/static_mobility.hpp"
 #include "net/node.hpp"
 #include "phy/channel.hpp"
+#include "scenario/scenario.hpp"
 #include "stats/stats.hpp"
 
 namespace manet::test {
+
+/// True when the run should print fresh golden literals instead of asserting
+/// (deliberate model changes: MANET_PRINT_GOLDENS=1 ./test_x, then paste).
+inline bool print_goldens() { return std::getenv("MANET_PRINT_GOLDENS") != nullptr; }
+
+/// Byte-compare `got` against a pinned golden literal; under
+/// MANET_PRINT_GOLDENS, print the fresh literal (tagged with `context` so it
+/// can be pasted back into the right table row) and skip the assertion.
+inline void expect_golden(const std::string& got, std::string_view golden,
+                          const std::string& context) {
+  if (print_goldens()) {
+    std::printf("\"%s\",  // %s\n", got.c_str(), context.c_str());
+    return;
+  }
+  EXPECT_EQ(got, std::string(golden))
+      << context << " (deliberate change? MANET_PRINT_GOLDENS=1 prints fresh literals)";
+}
+
+/// Everything observable a run produces, as one exact-match string — the
+/// shared fingerprint of the shard-identity, urban, and fault determinism
+/// suites. Includes the transport counters; transport-off runs render them
+/// as tretx=0 flows=0, so pre-transport fingerprints extend, not fork.
+inline std::string result_fingerprint(const ScenarioResult& r) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "events=%llu orig=%llu deliv=%llu rtx=%llu mac=%llu tretx=%llu flows=%zu "
+                "pdr=%.12g delay=%.12g nrl=%.12g hops=%.12g conn=%.12g",
+                static_cast<unsigned long long>(r.events),
+                static_cast<unsigned long long>(r.data_originated),
+                static_cast<unsigned long long>(r.data_delivered),
+                static_cast<unsigned long long>(r.routing_tx),
+                static_cast<unsigned long long>(r.mac_ctrl_tx),
+                static_cast<unsigned long long>(r.retransmissions), r.flows.size(), r.pdr,
+                r.delay_ms, r.nrl, r.avg_hops, r.connectivity);
+  return buf;
+}
 
 class TestNet {
  public:

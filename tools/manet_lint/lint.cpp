@@ -820,7 +820,7 @@ void check(const std::string& path, const std::vector<LineView>& lines,
   // delivery path, which ARE the sanctioned cross-shard machinery.
   const bool in_src = in_path(path, "src/");
   const bool node_layer = in_path(path, "src/routing/") || in_path(path, "src/mac/") ||
-                          in_path(path, "src/net/");
+                          in_path(path, "src/net/") || in_path(path, "src/transport/");
   const bool mlnt012_applies = node_layer || in_path(path, "src/scenario/");
   const bool mlnt013_member = !in_path(path, "src/core/") && !in_path(path, "src/phy/");
   // MLNT015 polices the per-event layers: PHY (channel candidate selection),
